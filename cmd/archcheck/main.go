@@ -1,0 +1,152 @@
+// Command archcheck analyzes a JSON architecture description with any of the
+// four engines of this repository: the exact zone-based model checker
+// (default), the discrete-event simulator, busy-window analysis, and
+// real-time calculus.
+//
+// Usage:
+//
+//	archcheck -model system.json [-req name] [-engine uppaal|sim|symta|rtc]
+//	          [-horizon ms] [-order bfs|df|rdf] [-max-states n] [-seed n]
+//	          [-sim-reps n] [-sim-horizon ms]
+//
+// With no -req, every requirement in the file is analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/rtc"
+	"repro/internal/sim"
+	"repro/internal/symta"
+)
+
+func main() {
+	var (
+		modelPath  = flag.String("model", "", "path to the JSON system description")
+		reqName    = flag.String("req", "", "requirement to analyze (default: all)")
+		engine     = flag.String("engine", "uppaal", "analysis engine: uppaal, sim, symta, rtc")
+		horizon    = flag.Int64("horizon", 2000, "observation horizon in ms (uppaal engine)")
+		order      = flag.String("order", "bfs", "search order: bfs, df, rdf (uppaal engine)")
+		maxStates  = flag.Int("max-states", 0, "state budget, 0 = exhaustive (uppaal engine)")
+		seed       = flag.Int64("seed", 1, "random seed (rdf order, sim engine)")
+		simReps    = flag.Int("sim-reps", 20, "simulation replications (sim engine)")
+		simHorizon = flag.Int64("sim-horizon", 60000, "simulated ms per replication (sim engine)")
+		dot        = flag.Bool("dot", false, "print the compiled timed-automata network as Graphviz DOT and exit")
+		uppaal     = flag.Bool("uppaal", false, "print the compiled network as UPPAAL 4.x XML and exit")
+		deploy     = flag.Bool("deploy", false, "print the deployment diagram (Figure 1 style) as Graphviz DOT and exit")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "archcheck: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	sys, reqs, err := arch.ParseSystem(data)
+	if err != nil {
+		fatal(err)
+	}
+	if *reqName != "" {
+		var filtered []*arch.Requirement
+		for _, r := range reqs {
+			if r.Name == *reqName {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			fatal(fmt.Errorf("requirement %q not found in %s", *reqName, *modelPath))
+		}
+		reqs = filtered
+	}
+	if len(reqs) == 0 {
+		fatal(fmt.Errorf("no requirements in %s", *modelPath))
+	}
+
+	if *deploy {
+		fmt.Print(sys.DOT())
+		return
+	}
+	if *dot || *uppaal {
+		compiled, err := arch.Compile(sys, reqs[0], arch.Options{HorizonMS: *horizon})
+		if err != nil {
+			fatal(err)
+		}
+		if *dot {
+			fmt.Print(compiled.Net.DOT())
+		} else {
+			fmt.Print(compiled.Net.UPPAALXML())
+		}
+		return
+	}
+
+	switch *engine {
+	case "uppaal":
+		var ord core.Order
+		switch *order {
+		case "bfs":
+			ord = core.BFS
+		case "df":
+			ord = core.DFS
+		case "rdf":
+			ord = core.RDFS
+		default:
+			fatal(fmt.Errorf("unknown order %q", *order))
+		}
+		for _, req := range reqs {
+			res, err := arch.AnalyzeWCRT(sys, req,
+				arch.Options{HorizonMS: *horizon},
+				core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates})
+			if err != nil {
+				fatal(err)
+			}
+			kind := "exact WCRT"
+			if !res.Exact {
+				kind = "lower bound"
+			}
+			fmt.Printf("%-20s %s = %s ms   [%s]\n", req.Name, kind, res.MS.FloatString(3), res.Stats)
+		}
+	case "sim":
+		results, err := sim.Simulate(sys, reqs, sim.Options{
+			Seed: *seed, HorizonMS: *simHorizon, Replications: *simReps})
+		if err != nil {
+			fatal(err)
+		}
+		for _, req := range reqs {
+			r := results[req.Name]
+			fmt.Printf("%-20s observed max = %s ms, mean = %s ms (n=%d)\n",
+				req.Name, r.MaxMS.FloatString(3), r.MeanMS.FloatString(3), r.Completed)
+		}
+	case "symta":
+		results, err := symta.Analyze(sys, reqs)
+		if err != nil {
+			fatal(err)
+		}
+		for _, req := range reqs {
+			fmt.Printf("%-20s busy-window bound = %s ms\n",
+				req.Name, results[req.Name].MS.FloatString(3))
+		}
+	case "rtc":
+		results, err := rtc.Analyze(sys, reqs)
+		if err != nil {
+			fatal(err)
+		}
+		for _, req := range reqs {
+			fmt.Printf("%-20s real-time-calculus bound = %s ms\n",
+				req.Name, results[req.Name].MS.FloatString(3))
+		}
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "archcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,208 @@
+// Command tacheck is a standalone zone-based model checker for networks of
+// timed automata in this repository's textual format (see internal/ta.Parse).
+//
+// Usage:
+//
+//	tacheck -model m.ta -reach "PROC.loc && v==2"     reachability + witness
+//	tacheck -model m.ta -safety "v<=4"                AG check + counterexample
+//	tacheck -model m.ta -sup "y @ OBS.seen"           clock supremum (WCRT)
+//	tacheck -model m.ta -deadlock                     deadlock freedom
+//	tacheck -model m.ta -dot                          Graphviz export
+//
+// Options: -order bfs|df|rdf, -seed, -max-states, -max-const (extrapolation
+// horizon for the sup clock), -workers (parallel exploration for -sup).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ta"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to the .ta model")
+		reach     = flag.String("reach", "", "reachability predicate")
+		safety    = flag.String("safety", "", "invariant predicate (AG)")
+		sup       = flag.String("sup", "", "clock supremum query: \"clock @ predicate\"")
+		deadlock  = flag.Bool("deadlock", false, "check deadlock freedom")
+		dot       = flag.Bool("dot", false, "print the network as Graphviz DOT")
+		uppaal    = flag.Bool("uppaal", false, "print the network as UPPAAL 4.x XML")
+		order     = flag.String("order", "bfs", "search order: bfs, df, rdf")
+		seed      = flag.Int64("seed", 1, "seed for rdf search")
+		maxStates = flag.Int("max-states", 0, "state budget, 0 = exhaustive")
+		maxConst  = flag.Int64("max-const", 0, "extrapolation horizon for the sup clock")
+		workers   = flag.Int("workers", 1, "parallel workers for -sup (no witness trace)")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "tacheck: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts core.Options
+	switch *order {
+	case "bfs":
+		opts.Order = core.BFS
+	case "df":
+		opts.Order = core.DFS
+	case "rdf":
+		opts.Order = core.RDFS
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+	opts.Seed = *seed
+	opts.MaxStates = *maxStates
+
+	parseNet := func() *ta.Network {
+		net, err := ta.Parse(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		return net
+	}
+
+	switch {
+	case *dot:
+		fmt.Print(parseNet().DOT())
+
+	case *uppaal:
+		fmt.Print(parseNet().UPPAALXML())
+
+	case *reach != "":
+		net := parseNet()
+		checker := mustChecker(net)
+		pred, err := core.ParsePredicate(net, *reach)
+		if err != nil {
+			fatal(err)
+		}
+		found, trace, stats, err := checker.Reachable(pred, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reachable(%s) = %v   [%s]\n", *reach, found, stats)
+		if found {
+			fmt.Print(core.FormatTrace(net, trace))
+		}
+
+	case *safety != "":
+		net := parseNet()
+		checker := mustChecker(net)
+		pred, err := core.ParsePredicate(net, *safety)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := checker.CheckSafety(core.Property{Desc: *safety, Holds: pred}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("AG(%s) = %v   [%s]\n", *safety, res.Holds, res.Stats)
+		if !res.Holds {
+			fmt.Print(core.FormatTrace(net, res.Counterexample))
+		}
+
+	case *sup != "":
+		clockName, predStr, found := strings.Cut(*sup, "@")
+		if !found {
+			fatal(fmt.Errorf("sup query must be \"clock @ predicate\""))
+		}
+		// The extrapolation horizon must be registered before Finalize, so
+		// re-parse with the constant injected.
+		net, err := ta.Parse(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		clock, err := core.FindClock(net, strings.TrimSpace(clockName))
+		if err != nil {
+			fatal(err)
+		}
+		if *maxConst > 0 {
+			// Parse unfinalized? ta.Parse finalizes; EnsureMaxConst must
+			// precede it. Rebuild via the pre-registration hook below.
+			net, clock, err = reparseWithHorizon(string(data), strings.TrimSpace(clockName), *maxConst)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		checker := mustChecker(net)
+		pred, err := core.ParsePredicate(net, strings.TrimSpace(predStr))
+		if err != nil {
+			fatal(err)
+		}
+		var res core.SupResult
+		if *workers > 1 {
+			res, err = checker.SupClockParallel(clock.ID, pred, opts, *workers)
+		} else {
+			res, err = checker.SupClock(clock.ID, pred, opts)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case !res.Seen:
+			fmt.Printf("sup %s: predicate unreachable   [%s]\n", *sup, res.Stats)
+		case res.Unbounded:
+			fmt.Printf("sup %s: beyond extrapolation horizon (raise -max-const)   [%s]\n", *sup, res.Stats)
+		default:
+			fmt.Printf("sup %s = %v   [%s]\n", *sup, res.Max, res.Stats)
+		}
+
+	case *deadlock:
+		net := parseNet()
+		checker := mustChecker(net)
+		res, err := checker.CheckDeadlockFree(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deadlock-free = %v   [%s]\n", res.Free, res.Stats)
+		if !res.Free {
+			fmt.Print(core.FormatTrace(net, res.Witness))
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "tacheck: one of -reach, -safety, -sup, -deadlock, -dot is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// reparseWithHorizon re-parses the model and registers the extrapolation
+// horizon on the named clock before finalization.
+func reparseWithHorizon(input, clockName string, horizon int64) (*ta.Network, ta.Clock, error) {
+	net, err := ta.ParseWithHook(input, func(n *ta.Network) error {
+		for _, c := range n.Clocks {
+			if c.Name == clockName {
+				n.EnsureMaxConst(c.ID, horizon)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown clock %q", clockName)
+	})
+	if err != nil {
+		return nil, ta.Clock{}, err
+	}
+	clock, err := core.FindClock(net, clockName)
+	return net, clock, err
+}
+
+func mustChecker(net *ta.Network) *core.Checker {
+	c, err := core.NewChecker(net)
+	if err != nil {
+		fatal(err)
+	}
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacheck:", err)
+	os.Exit(1)
+}

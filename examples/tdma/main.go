@@ -1,0 +1,79 @@
+// Tdma demonstrates the time-division bus extension (the protocol family the
+// paper's Section 3.2 points to via the templates of Perathoner et al.).
+//
+// The demonstrated property is composability: under TDMA, each stream's
+// worst-case response time is completely independent of the other stream's
+// load, whereas on a shared fixed-priority bus the low-priority stream's
+// bound degrades as the high-priority stream's rate grows. (With short
+// transfers a fixed-priority bus often yields the smaller absolute bounds —
+// the slot granularity is the price of isolation, which the numbers below
+// also show.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// build assembles the system: a control stream with the given period and a
+// bulk stream, sharing one 8 kbit/s bus (1 byte = 1 ms).
+func build(tdma bool, ctrlArrival arch.EventModel) (*arch.System, *arch.Requirement, *arch.Requirement) {
+	sys := arch.NewSystem("tdma-demo")
+	sched := arch.SchedFP
+	if tdma {
+		sched = arch.SchedTDMA
+	}
+	bus := sys.AddBus("BUS", 8, sched)
+
+	ctrl := sys.AddScenario("control", 2, ctrlArrival)
+	ctrl.Transfer("cmd", bus, 2)
+	bulk := sys.AddScenario("bulk", 1, arch.Sporadic(arch.MS(30, 1)))
+	bulk.Transfer("chunk", bus, 6)
+
+	if tdma {
+		bus.TDMA = &arch.TDMAConfig{
+			CycleMS: arch.MS(10, 1),
+			Slots: []arch.TDMASlot{
+				{Scenario: ctrl, StartMS: arch.MS(0, 1), EndMS: arch.MS(3, 1)},
+				{Scenario: bulk, StartMS: arch.MS(3, 1), EndMS: arch.MS(10, 1)},
+			},
+		}
+	}
+	return sys, arch.EndToEnd("control", ctrl), arch.EndToEnd("bulk", bulk)
+}
+
+func wcrt(sys *arch.System, req *arch.Requirement) string {
+	res, err := arch.AnalyzeWCRT(sys, req, arch.Options{HorizonMS: 300}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.String()
+}
+
+func main() {
+	fmt.Println("bulk stream's WCRT as the control stream gets burstier:")
+	fmt.Printf("%-36s %-16s %-16s\n", "control arrival", "FP bus", "TDMA bus")
+	for _, ctrl := range []arch.EventModel{
+		arch.Sporadic(arch.MS(12, 1)),
+		arch.PeriodicJitter(arch.MS(12, 1), arch.MS(12, 1)),
+		arch.Bursty(arch.MS(12, 1), arch.MS(36, 1), arch.MS(0, 1)),
+	} {
+		sysFP, _, bulkFP := build(false, ctrl)
+		sysTD, _, bulkTD := build(true, ctrl)
+		fmt.Printf("%-36v %-16s %-16s\n", ctrl, wcrt(sysFP, bulkFP), wcrt(sysTD, bulkTD))
+	}
+	fmt.Println()
+	sysFP, ctrlFP, _ := build(false, arch.Sporadic(arch.MS(12, 1)))
+	sysTD, ctrlTD, _ := build(true, arch.Sporadic(arch.MS(12, 1)))
+	fmt.Printf("control stream: FP bus %s ms, TDMA bus %s ms\n",
+		wcrt(sysFP, ctrlFP), wcrt(sysTD, ctrlTD))
+	fmt.Println()
+	fmt.Println("Under TDMA the bulk bound is constant — its slot is dedicated, so")
+	fmt.Println("the control stream's rate is irrelevant (composability). On the")
+	fmt.Println("fixed-priority bus the bulk bound degrades with control load, while")
+	fmt.Println("absolute bounds are smaller as long as the interference is light —")
+	fmt.Println("the slot granularity is the price of isolation.")
+}

@@ -1,0 +1,217 @@
+package arch
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/dbm"
+)
+
+// WCRTResult is the worst-case response time of one requirement.
+type WCRTResult struct {
+	Req *Requirement
+	// MS is the response-time bound in exact milliseconds.
+	MS *big.Rat
+	// Attained reports whether the bound is reached by some run (≤) or only
+	// approached (<).
+	Attained bool
+	// Exact reports whether the bound is the true supremum: the exploration
+	// completed and stayed within the observation horizon. When false, MS
+	// is only a lower bound on the WCRT — the paper's "greater than" rows.
+	Exact bool
+	// BeyondHorizon reports that some response exceeded the observation
+	// horizon (raise Options.HorizonMS to measure it).
+	BeyondHorizon bool
+	Stats         core.Stats
+}
+
+// String renders the result the way the paper's tables do: exact values as
+// plain milliseconds, inexact ones as lower bounds.
+func (r WCRTResult) String() string {
+	v := r.MS.FloatString(3)
+	if r.Exact {
+		return v
+	}
+	return "> " + v
+}
+
+// AnalyzeWCRT compiles the system with a measuring observer for req and
+// computes the worst-case response time as the supremum of the observer
+// clock over all reachable "seen" states.
+//
+// With copts/opts zero values this is the paper's exhaustive analysis. For
+// intractable cases set opts.MaxStates and opts.Order (DFS or RDFS) to
+// reproduce the paper's "structured testing" mode: the result is then a
+// lower bound (Exact=false).
+func AnalyzeWCRT(sys *System, req *Requirement, copts Options, opts core.Options) (WCRTResult, error) {
+	c, err := Compile(sys, req, copts)
+	if err != nil {
+		return WCRTResult{}, err
+	}
+	checker, err := core.NewChecker(c.Net)
+	if err != nil {
+		return WCRTResult{}, err
+	}
+	sup, err := checker.SupClock(c.Obs.Y.ID, c.AtSeen(), opts)
+	if err != nil {
+		return WCRTResult{}, err
+	}
+	if !sup.Seen && !sup.Truncated {
+		return WCRTResult{}, fmt.Errorf("arch: requirement %s: no measured response is reachable", req.Name)
+	}
+	res := WCRTResult{Req: req, Stats: sup.Stats}
+	switch {
+	case sup.Unbounded:
+		res.MS = c.UnitsToMS(c.Horizon)
+		res.BeyondHorizon = true
+	default:
+		res.MS = c.UnitsToMS(sup.Max.Value())
+		res.Attained = sup.Max.Weak()
+		res.Exact = !sup.Truncated
+	}
+	return res, nil
+}
+
+// AtSeen returns the state predicate "the observer is in its seen location".
+func (c *Compiled) AtSeen() func(*core.State) bool {
+	proc, seen := c.Obs.Proc, c.Obs.Seen
+	return func(s *core.State) bool { return s.Locs[proc] == seen }
+}
+
+// AnalyzeWCRTBinary reproduces the paper's methodology (Property 1): binary
+// search for the smallest C with AG(seen → y < C), using repeated
+// model-checking runs. hiMS bounds the search from above in milliseconds.
+// The result's MS is the supremum implied by the minimal C under integer
+// time: the WCRT lies in [C-1, C) model units.
+func AnalyzeWCRTBinary(sys *System, req *Requirement, copts Options,
+	opts core.Options, hiMS int64) (WCRTResult, int64, error) {
+	copts = copts.withDefaults()
+	if hiMS <= 0 {
+		hiMS = copts.HorizonMS
+	}
+	if copts.HorizonMS < hiMS {
+		copts.HorizonMS = hiMS
+	}
+	c, err := Compile(sys, req, copts)
+	if err != nil {
+		return WCRTResult{}, 0, err
+	}
+	checker, err := core.NewChecker(c.Net)
+	if err != nil {
+		return WCRTResult{}, 0, err
+	}
+	hiUnits, err := toUnits(new(big.Rat).SetInt64(hiMS), c.Scale)
+	if err != nil {
+		return WCRTResult{}, 0, err
+	}
+	bs, err := checker.BinarySearchWCRT(c.Obs.Y.ID, c.AtSeen(), 0, hiUnits, opts)
+	if err != nil {
+		return WCRTResult{}, 0, err
+	}
+	res := WCRTResult{Req: req, Stats: bs.TotalStats}
+	if !bs.Holds {
+		res.MS = c.UnitsToMS(hiUnits)
+		res.BeyondHorizon = true
+		return res, bs.MinimalC, nil
+	}
+	// AG(y < C) holds minimally at C, so the supremum is at most C and
+	// above C-1; report C-1 which equals the exact value whenever the
+	// supremum is attained at an integer (always true in a scaled model).
+	res.MS = c.UnitsToMS(bs.MinimalC - 1)
+	res.Attained = true
+	res.Exact = true
+	return res, bs.MinimalC, nil
+}
+
+// WCRTWitness returns a human-readable symbolic trace to a configuration
+// that realizes the requirement's worst-case response time: the "critical
+// instant" schedule. It first computes the WCRT, then searches for a seen
+// state whose observer clock reaches it.
+func WCRTWitness(sys *System, req *Requirement, copts Options, opts core.Options) (string, WCRTResult, error) {
+	res, err := AnalyzeWCRT(sys, req, copts, opts)
+	if err != nil {
+		return "", res, err
+	}
+	c, err := Compile(sys, req, copts)
+	if err != nil {
+		return "", res, err
+	}
+	checker, err := core.NewChecker(c.Net)
+	if err != nil {
+		return "", res, err
+	}
+	// The witness state allows the observer clock to reach the bound:
+	// its upper bound is at least (≤ value) — or (< value) when the
+	// supremum is approached rather than attained.
+	bound := new(big.Rat).Mul(res.MS, new(big.Rat).SetInt(c.Scale))
+	if !bound.IsInt() {
+		return "", res, fmt.Errorf("arch: internal: WCRT %s not integral in model units", res.MS.RatString())
+	}
+	v := bound.Num().Int64()
+	atSeen := c.AtSeen()
+	found, trace, _, err := checker.Reachable(func(s *core.State) bool {
+		if !atSeen(s) {
+			return false
+		}
+		sup := s.Zone.Sup(int(c.Obs.Y.ID))
+		if res.Attained {
+			return sup >= dbm.LE(v)
+		}
+		return sup >= dbm.LT(v)
+	}, opts)
+	if err != nil {
+		return "", res, err
+	}
+	if !found {
+		return "", res, fmt.Errorf("arch: no witness found at the computed bound (truncated search?)")
+	}
+	return core.FormatTrace(c.Net, trace), res, nil
+}
+
+// VerifyDeadline checks the timeliness requirement "response < deadlineMS"
+// by model checking AG(seen → y < deadline) directly — the paper's
+// Property 1 with the deadline as the constant. On violation it returns a
+// counterexample trace leading to a response that reaches the deadline.
+func VerifyDeadline(sys *System, req *Requirement, deadlineMS *big.Rat,
+	copts Options, opts core.Options) (bool, string, error) {
+	copts = copts.withDefaults()
+	// The horizon must cover the deadline so extrapolation keeps the bound.
+	d := new(big.Rat).Set(deadlineMS)
+	dCeil := new(big.Int).Add(d.Num(), new(big.Int).Sub(d.Denom(), big.NewInt(1)))
+	dCeil.Div(dCeil, d.Denom())
+	if copts.HorizonMS < dCeil.Int64() {
+		copts.HorizonMS = dCeil.Int64() * 2
+	}
+	c, err := Compile(sys, req, copts)
+	if err != nil {
+		return false, "", err
+	}
+	checker, err := core.NewChecker(c.Net)
+	if err != nil {
+		return false, "", err
+	}
+	bound := new(big.Rat).Mul(deadlineMS, new(big.Rat).SetInt(c.Scale))
+	if !bound.IsInt() {
+		return false, "", fmt.Errorf("arch: deadline %s ms is not integral in model units; refine the time base",
+			deadlineMS.RatString())
+	}
+	v := bound.Num().Int64()
+	atSeen := c.AtSeen()
+	res, err := checker.CheckSafety(core.Property{
+		Desc: fmt.Sprintf("%s < %s ms", req.Name, deadlineMS.RatString()),
+		Holds: func(s *core.State) bool {
+			if !atSeen(s) {
+				return true
+			}
+			return s.Zone.Sup(int(c.Obs.Y.ID)) < dbm.LE(v)
+		},
+	}, opts)
+	if err != nil {
+		return false, "", err
+	}
+	if res.Holds {
+		return true, "", nil
+	}
+	return false, core.FormatTrace(c.Net, res.Counterexample), nil
+}

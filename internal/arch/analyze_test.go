@@ -1,0 +1,57 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestWCRTWitnessTrace(t *testing.T) {
+	// The non-preemptive blocking case: the witness must show lo being
+	// dispatched before hi, the trace ending at the observer's seen state.
+	sys, hi, _ := contended(SchedFP)
+	trace, res, err := WCRTWitness(sys, EndToEnd("hi", hi), Options{HorizonMS: 100}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MS.RatString() != "15" {
+		t.Fatalf("witness WCRT = %s, want 15", res.MS.RatString())
+	}
+	if !strings.Contains(trace, "run_lo.lop") {
+		t.Errorf("critical-instant trace must show the blocking lo job:\n%s", trace)
+	}
+	if !strings.Contains(trace, "OBS.watch->seen") {
+		t.Errorf("trace must end at the observer's seen transition:\n%s", trace)
+	}
+}
+
+func TestWCRTWitnessUncontended(t *testing.T) {
+	sys, req := pipeline(Sporadic(MS(100, 1)))
+	trace, res, err := WCRTWitness(sys, req, Options{HorizonMS: 100}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MS.RatString() != "30" {
+		t.Fatalf("witness WCRT = %s, want 30", res.MS.RatString())
+	}
+	for _, step := range []string{"opA", "msg", "opB"} {
+		if !strings.Contains(trace, step) {
+			t.Errorf("trace missing step %s:\n%s", step, trace)
+		}
+	}
+}
+
+func TestSystemDOT(t *testing.T) {
+	sys, _ := pipeline(Sporadic(MS(100, 1)))
+	dot := sys.DOT()
+	for _, want := range []string{"digraph", "10 MIPS", "8 kbit/s", "opA", "msg", "opB", "sp(P=100)"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("deployment DOT missing %q", want)
+		}
+	}
+	tsys, _ := tdmaSystem(t)
+	if !strings.Contains(tsys.DOT(), "cycle 20 ms") {
+		t.Error("TDMA slot table must render")
+	}
+}

@@ -1,0 +1,709 @@
+package arch
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ta"
+)
+
+// Options tunes model compilation.
+type Options struct {
+	// QueueCap bounds every step's pending-event counter; exceeding it
+	// surfaces as an analysis error (system overload or cap too small).
+	// Default 8.
+	QueueCap int64
+	// HorizonMS is the observation horizon of the measuring automaton in
+	// milliseconds: response times up to this value are computed exactly,
+	// anything beyond reports as unbounded. Default 2000.
+	HorizonMS int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCap == 0 {
+		o.QueueCap = 8
+	}
+	if o.HorizonMS == 0 {
+		o.HorizonMS = 2000
+	}
+	return o
+}
+
+// Observer locates the measuring automaton inside the compiled network.
+type Observer struct {
+	Proc ta.ProcID
+	Seen ta.LocID
+	Y    ta.Clock
+}
+
+// Compiled is a system description translated to a network of timed automata
+// with one measuring observer for the requirement.
+type Compiled struct {
+	Sys     *System
+	Req     *Requirement
+	Net     *ta.Network
+	Scale   *big.Int // model time units per millisecond
+	Horizon int64    // observation horizon in units
+	Obs     Observer
+}
+
+// UnitsToMS converts a model-time value to exact milliseconds.
+func (c *Compiled) UnitsToMS(u int64) *big.Rat { return unitsToMS(u, c.Scale) }
+
+// Compile translates the system plus one requirement into a network of timed
+// automata following the paper's patterns: one automaton per processor
+// (Fig. 4 or Fig. 5 depending on the scheduler), one per bus (Fig. 6), one
+// environment automaton per scenario (Fig. 7a–d, Fig. 8), and one measuring
+// observer (Fig. 9) for the requirement.
+func Compile(sys *System, req *Requirement, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if req == nil {
+		return nil, fmt.Errorf("arch: Compile needs a requirement to observe")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.ScenarioByName(req.Scenario.Name) != req.Scenario {
+		return nil, fmt.Errorf("arch: requirement %s references a scenario outside the system", req.Name)
+	}
+	scale, err := computeScale(sys)
+	if err != nil {
+		return nil, err
+	}
+	horizon, err := toUnits(new(big.Rat).SetInt64(opts.HorizonMS), scale)
+	if err != nil {
+		return nil, err
+	}
+
+	b := &builder{
+		sys:   sys,
+		req:   req,
+		opts:  opts,
+		scale: scale,
+		net:   ta.NewNetwork(sys.Name),
+		qv:    map[*Scenario][]ta.IntVar{},
+	}
+	b.hurry = b.net.AddChan("hurry", ta.BroadcastUrgent)
+
+	// Pending-event counters, one per scenario step (the shared-variable
+	// interface between environment, processors, and buses described in
+	// Sections 3.1–3.2).
+	for _, sc := range sys.Scenarios {
+		vars := make([]ta.IntVar, len(sc.Steps))
+		for i := range sc.Steps {
+			vars[i] = b.net.AddVar(sc.Name+"."+sc.Steps[i].Name+".q", 0, 0, opts.QueueCap)
+		}
+		b.qv[sc] = vars
+	}
+
+	// Observation channels: the start signal is either the injection of the
+	// measured scenario's events or the completion of FromStep; the end
+	// signal is the completion of ToStep.
+	if req.FromStep == -1 {
+		ch := b.net.AddChan("inject_"+req.Scenario.Name, ta.Broadcast)
+		b.startCh = &ch
+	} else {
+		ch := b.net.AddChan(doneName(req.Scenario, req.FromStep), ta.Broadcast)
+		b.startCh = &ch
+	}
+	endCh := b.net.AddChan(doneName(req.Scenario, req.ToStep), ta.Broadcast)
+	b.endCh = &endCh
+
+	for _, sc := range sys.Scenarios {
+		if err := b.buildEnv(sc); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.buildResources(); err != nil {
+		return nil, err
+	}
+	obs := b.buildObserver(horizon)
+
+	if err := b.net.Finalize(); err != nil {
+		return nil, fmt.Errorf("arch: compiled network invalid: %w", err)
+	}
+	return &Compiled{
+		Sys: sys, Req: req, Net: b.net,
+		Scale: scale, Horizon: horizon, Obs: obs,
+	}, nil
+}
+
+func doneName(sc *Scenario, step int) string {
+	return "done_" + sc.Name + "_" + sc.Steps[step].Name
+}
+
+// builder carries shared compilation state.
+type builder struct {
+	sys   *System
+	req   *Requirement
+	opts  Options
+	scale *big.Int
+	net   *ta.Network
+	hurry ta.Channel
+	qv    map[*Scenario][]ta.IntVar
+
+	startCh, endCh *ta.Channel
+}
+
+func (b *builder) units(r *big.Rat) (int64, error) { return toUnits(r, b.scale) }
+
+// injectSync returns the sync label for event injections of scenario sc:
+// a broadcast when sc is the measured scenario, internal otherwise.
+func (b *builder) injectSync(sc *Scenario) ta.Sync {
+	if sc == b.req.Scenario && b.req.FromStep == -1 {
+		return ta.Sync{Chan: b.startCh.ID, Dir: ta.Emit}
+	}
+	return ta.NoSync
+}
+
+// doneSync returns the sync label for the completion of step i of scenario
+// sc: a broadcast when the observer listens to it, internal otherwise.
+func (b *builder) doneSync(sc *Scenario, i int) ta.Sync {
+	if sc == b.req.Scenario {
+		if b.req.FromStep == i {
+			return ta.Sync{Chan: b.startCh.ID, Dir: ta.Emit}
+		}
+		if b.req.ToStep == i {
+			return ta.Sync{Chan: b.endCh.ID, Dir: ta.Emit}
+		}
+	}
+	return ta.NoSync
+}
+
+// buildEnv emits the environment automaton of one scenario (Fig. 7a–d and
+// Fig. 8): it feeds the first step's queue according to the arrival model
+// and announces each injection on the scenario's inject channel when
+// observed.
+func (b *builder) buildEnv(sc *Scenario) error {
+	m := sc.Arrival
+	q0 := b.qv[sc][0]
+	release := ta.Inc(q0, 1)
+	sync := b.injectSync(sc)
+	x := b.net.AddClock(sc.Name + ".env.x")
+	p := b.net.AddProcess("ENV_" + sc.Name)
+
+	period, err := b.units(m.PeriodMS)
+	if err != nil {
+		return err
+	}
+	switch m.Kind {
+	case KindPeriodic:
+		offset, err := b.units(m.OffsetMS)
+		if err != nil {
+			return err
+		}
+		l0 := p.AddLocation("offset", ta.Normal, ta.CLE(x, offset))
+		l1 := p.AddLocation("run", ta.Normal, ta.CLE(x, period))
+		p.AddEdge(ta.Edge{Src: l0, Dst: l1, ClockGuard: ta.CEq(x, offset),
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}, Update: release, Sync: sync})
+		p.AddEdge(ta.Edge{Src: l1, Dst: l1, ClockGuard: ta.CEq(x, period),
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}, Update: release, Sync: sync})
+
+	case KindPeriodicUnknownOffset:
+		l0 := p.AddLocation("offset", ta.Normal, ta.CLE(x, period))
+		l1 := p.AddLocation("run", ta.Normal, ta.CLE(x, period))
+		// The first event is released anywhere within one period; the free
+		// initial phase is exactly Fig. 7b.
+		p.AddEdge(ta.Edge{Src: l0, Dst: l1,
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}, Update: release, Sync: sync})
+		p.AddEdge(ta.Edge{Src: l1, Dst: l1, ClockGuard: ta.CEq(x, period),
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}, Update: release, Sync: sync})
+
+	case KindSporadic:
+		l0 := p.AddLocation("init", ta.Normal)
+		l1 := p.AddLocation("run", ta.Normal)
+		p.AddEdge(ta.Edge{Src: l0, Dst: l1,
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}, Update: release, Sync: sync})
+		p.AddEdge(ta.Edge{Src: l1, Dst: l1,
+			ClockGuard: []ta.Constraint{ta.CGE(x, period)},
+			Resets:     []ta.Reset{{Clock: x.ID, Value: 0}}, Update: release, Sync: sync})
+
+	case KindPeriodicJitter:
+		jitter, err := b.units(m.JitterMS)
+		if err != nil {
+			return err
+		}
+		// rel: the k-th event is released at kP + δ, δ ∈ [0, J] (the x ≤ J
+		// invariant forces the release); wait: let the period elapse.
+		rel := p.AddLocation("rel", ta.Normal, ta.CLE(x, jitter))
+		wait := p.AddLocation("wait", ta.Normal, ta.CLE(x, period))
+		p.AddEdge(ta.Edge{Src: rel, Dst: wait, Update: release, Sync: sync})
+		p.AddEdge(ta.Edge{Src: wait, Dst: rel, ClockGuard: ta.CEq(x, period),
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}})
+
+	case KindBursty:
+		return b.buildBurstyEnv(sc, p, x, release, sync, period)
+	}
+	return nil
+}
+
+// buildBurstyEnv emits the Fig. 8 automaton for J > P: pending events
+// accumulate every period, each must be sent at most J after its nominal
+// release, and consecutive sends are separated by more than D.
+func (b *builder) buildBurstyEnv(sc *Scenario, p *ta.Process, x ta.Clock,
+	release ta.Update, sync ta.Sync, period int64) error {
+	m := sc.Arrival
+	jitter, err := b.units(m.JitterMS)
+	if err != nil {
+		return err
+	}
+	minSep, err := b.units(m.MinSepMS)
+	if err != nil {
+		return err
+	}
+	if minSep >= period {
+		return fmt.Errorf("arch: scenario %s: bursty minimal separation must be below the period", sc.Name)
+	}
+	// Outstanding events never exceed ceil(J/P)+1.
+	cap64 := (jitter+period-1)/period + 2
+	pending := b.net.AddVar(sc.Name+".pending", 1, 0, cap64)
+	snd := b.net.AddVar(sc.Name+".snd", 0, 0, cap64)
+	y := b.net.AddClock(sc.Name + ".env.y")
+	var z ta.Clock
+	if minSep > 0 {
+		z = b.net.AddClock(sc.Name + ".env.z")
+	}
+
+	// Phase A: the deadline of the oldest unsent event is J after its
+	// nominal release; phase B: P for all subsequent deadlines.
+	locA := p.AddLocation("burstA", ta.Normal, ta.CLE(x, period), ta.CLE(y, jitter))
+	locB := p.AddLocation("burstB", ta.Normal, ta.CLE(x, period), ta.CLE(y, period))
+
+	sendEdge := func(loc ta.LocID) ta.Edge {
+		e := ta.Edge{
+			Src: loc, Dst: loc,
+			Guard:  ta.VarCmp(pending, ta.Gt, 0),
+			Update: ta.Do(ta.Inc(pending, -1), release, ta.Inc(snd, 1)),
+			Sync:   sync,
+		}
+		if minSep > 0 {
+			e.ClockGuard = []ta.Constraint{ta.CGT(z, minSep)}
+			e.Resets = []ta.Reset{{Clock: z.ID, Value: 0}}
+		}
+		return e
+	}
+	tickEdge := func(loc ta.LocID) ta.Edge {
+		return ta.Edge{Src: loc, Dst: loc, ClockGuard: ta.CEq(x, period),
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}}, Update: ta.Inc(pending, 1)}
+	}
+	p.AddEdge(tickEdge(locA))
+	p.AddEdge(sendEdge(locA))
+	p.AddEdge(ta.Edge{Src: locA, Dst: locB,
+		ClockGuard: ta.CEq(y, jitter), Guard: ta.VarCmp(snd, ta.Gt, 0),
+		Resets: []ta.Reset{{Clock: y.ID, Value: 0}}, Update: ta.Inc(snd, -1)})
+	p.AddEdge(tickEdge(locB))
+	p.AddEdge(sendEdge(locB))
+	p.AddEdge(ta.Edge{Src: locB, Dst: locB,
+		ClockGuard: ta.CEq(y, period), Guard: ta.VarCmp(snd, ta.Gt, 0),
+		Resets: []ta.Reset{{Clock: y.ID, Value: 0}}, Update: ta.Inc(snd, -1)})
+	return nil
+}
+
+// rop is one operation (computation or transfer) mapped onto a resource.
+type rop struct {
+	name    string
+	sc      *Scenario
+	step    int
+	in      ta.IntVar
+	next    ta.IntVar
+	hasNext bool
+	dur     int64
+	prio    int
+}
+
+// completion returns the update and sync of the op's completion edge:
+// feed the next step's queue and announce completion when observed.
+func (b *builder) completion(op rop) (ta.Update, ta.Sync) {
+	var upd ta.Update
+	if op.hasNext {
+		upd = ta.Inc(op.next, 1)
+	}
+	return upd, b.doneSync(op.sc, op.step)
+}
+
+// buildResources emits one automaton per processor and bus that has mapped
+// operations.
+func (b *builder) buildResources() error {
+	for _, p := range b.sys.Processors {
+		ops := b.opsOn(func(st *Step) bool { return st.Proc == p })
+		if len(ops) == 0 {
+			continue
+		}
+		if err := b.buildResource(p.Name, p.Sched, ops); err != nil {
+			return err
+		}
+	}
+	for _, bus := range b.sys.Buses {
+		ops := b.opsOn(func(st *Step) bool { return st.Bus == bus })
+		if len(ops) == 0 {
+			continue
+		}
+		if bus.Sched == SchedTDMA {
+			if err := b.buildTDMABus(bus, ops); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := b.buildResource(bus.Name, bus.Sched, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildTDMABus emits the time-division bus: a cycle automaton broadcasts a
+// grant at each slot start, and the bus automaton starts one pending message
+// of the slot's owner on each grant (broadcast reception is maximal, so
+// grants are never lazily skipped). Messages arriving mid-cycle wait for
+// their scenario's next slot.
+func (b *builder) buildTDMABus(bus *Bus, ops []rop) error {
+	cfg := bus.TDMA
+	cycle, err := b.units(cfg.CycleMS)
+	if err != nil {
+		return err
+	}
+	// Every scenario with traffic on this bus needs a slot wide enough for
+	// its largest message.
+	scenarios := map[*Scenario]bool{}
+	for _, op := range ops {
+		scenarios[op.sc] = true
+	}
+	slotLen := map[*Scenario]int64{}
+	grants := map[*Scenario]ta.Channel{}
+	for sc := range scenarios {
+		sl := cfg.SlotFor(sc)
+		if sl == nil {
+			return fmt.Errorf("arch: bus %s: scenario %s has traffic but no TDMA slot", bus.Name, sc.Name)
+		}
+		start, err := b.units(sl.StartMS)
+		if err != nil {
+			return err
+		}
+		end, err := b.units(sl.EndMS)
+		if err != nil {
+			return err
+		}
+		slotLen[sc] = end - start
+	}
+	for _, op := range ops {
+		if op.dur > slotLen[op.sc] {
+			return fmt.Errorf("arch: bus %s: message %s (%d units) exceeds scenario %s's slot",
+				bus.Name, op.name, op.dur, op.sc.Name)
+		}
+	}
+
+	// Cycle automaton: one location per slot start, in table order.
+	tc := b.net.AddClock(bus.Name + ".cycle")
+	cyc := b.net.AddProcess(bus.Name + "_CYCLE")
+	type slotEvt struct {
+		start int64
+		sc    *Scenario
+	}
+	var evts []slotEvt
+	for i := range cfg.Slots {
+		sl := &cfg.Slots[i]
+		if !scenarios[sl.Scenario] {
+			continue // slot for a scenario without traffic here: skip
+		}
+		start, err := b.units(sl.StartMS)
+		if err != nil {
+			return err
+		}
+		evts = append(evts, slotEvt{start, sl.Scenario})
+		if _, ok := grants[sl.Scenario]; !ok {
+			grants[sl.Scenario] = b.net.AddChan(
+				"grant_"+bus.Name+"_"+sl.Scenario.Name, ta.Broadcast)
+		}
+	}
+	if len(evts) == 0 {
+		return fmt.Errorf("arch: bus %s: no usable TDMA slots", bus.Name)
+	}
+	locs := make([]ta.LocID, len(evts)+1)
+	for i, e := range evts {
+		locs[i] = cyc.AddLocation(fmt.Sprintf("before_%d", i), ta.Normal, ta.CLE(tc, e.start))
+	}
+	locs[len(evts)] = cyc.AddLocation("wrap", ta.Normal, ta.CLE(tc, cycle))
+	for i, e := range evts {
+		cyc.AddEdge(ta.Edge{Src: locs[i], Dst: locs[i+1],
+			ClockGuard: ta.CEq(tc, e.start),
+			Sync:       ta.Sync{Chan: grants[e.sc].ID, Dir: ta.Emit}})
+	}
+	cyc.AddEdge(ta.Edge{Src: locs[len(evts)], Dst: locs[0],
+		ClockGuard: ta.CEq(tc, cycle),
+		Resets:     []ta.Reset{{Clock: tc.ID, Value: 0}}})
+
+	// Bus automaton: grants start transfers; transfers always fit their
+	// slot, so the bus is idle at every grant.
+	x := b.net.AddClock(bus.Name + ".x")
+	proc := b.net.AddProcess(bus.Name)
+	idle := proc.AddLocation("idle", ta.Normal)
+	for _, op := range ops {
+		run := proc.AddLocation("run_"+op.name, ta.Normal, ta.CLE(x, op.dur))
+		proc.AddEdge(ta.Edge{
+			Src: idle, Dst: run,
+			Guard:  ta.VarCmp(op.in, ta.Gt, 0),
+			Sync:   ta.Sync{Chan: grants[op.sc].ID, Dir: ta.Recv},
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}},
+			Update: ta.Inc(op.in, -1),
+		})
+		upd, sync := b.completion(op)
+		proc.AddEdge(ta.Edge{Src: run, Dst: idle,
+			ClockGuard: ta.CEq(x, op.dur), Update: upd, Sync: sync})
+	}
+	return nil
+}
+
+func (b *builder) opsOn(sel func(*Step) bool) []rop {
+	var ops []rop
+	for _, sc := range b.sys.Scenarios {
+		for i := range sc.Steps {
+			st := &sc.Steps[i]
+			if !sel(st) {
+				continue
+			}
+			dur, err := toUnits(st.DurationMS(), b.scale)
+			if err != nil {
+				// computeScale covered every duration; treat as internal.
+				panic("arch: duration not integral under computed scale: " + err.Error())
+			}
+			op := rop{
+				name: sc.Name + "." + st.Name,
+				sc:   sc, step: i,
+				in:   b.qv[sc][i],
+				dur:  dur,
+				prio: st.EffectivePriority(sc),
+			}
+			if i+1 < len(sc.Steps) {
+				op.next = b.qv[sc][i+1]
+				op.hasNext = true
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// dispatchGuard returns the data guard for dispatching op under the given
+// scheduler: pending work, and for fixed priority no strictly
+// higher-priority work pending on the same resource.
+func dispatchGuard(sched SchedKind, ops []rop, op rop) ta.Guard {
+	gs := []ta.Guard{ta.VarCmp(op.in, ta.Gt, 0)}
+	if sched == SchedFP || sched == SchedFPPreempt {
+		for _, other := range ops {
+			if other.prio > op.prio {
+				gs = append(gs, ta.VarCmp(other.in, ta.Eq, 0))
+			}
+		}
+	}
+	return ta.And(gs...)
+}
+
+// buildResource emits the automaton of one processor or bus: Fig. 4 for
+// non-preemptive scheduling (nondeterministic or fixed-priority dispatch),
+// Fig. 5 for preemptive fixed priority.
+func (b *builder) buildResource(name string, sched SchedKind, ops []rop) error {
+	x := b.net.AddClock(name + ".x")
+	proc := b.net.AddProcess(name)
+	idle := proc.AddLocation("idle", ta.Normal)
+
+	hurrySync := ta.Sync{Chan: b.hurry.ID, Dir: ta.Emit}
+
+	if sched != SchedFPPreempt {
+		for _, op := range ops {
+			run := proc.AddLocation("run_"+op.name, ta.Normal, ta.CLE(x, op.dur))
+			proc.AddEdge(ta.Edge{
+				Src: idle, Dst: run,
+				Guard:  dispatchGuard(sched, ops, op),
+				Sync:   hurrySync,
+				Resets: []ta.Reset{{Clock: x.ID, Value: 0}},
+				Update: ta.Inc(op.in, -1),
+			})
+			upd, sync := b.completion(op)
+			proc.AddEdge(ta.Edge{Src: run, Dst: idle,
+				ClockGuard: ta.CEq(x, op.dur), Update: upd, Sync: sync})
+		}
+		return nil
+	}
+
+	// Preemptive fixed priority (Fig. 5). The template supports two
+	// priority classes: the high class runs to completion and preempts the
+	// low class, whose dynamic deadline D accumulates the preemption time.
+	his, los, err := splitClasses(name, ops)
+	if err != nil {
+		return err
+	}
+	for _, op := range his {
+		run := proc.AddLocation("run_"+op.name, ta.Normal, ta.CLE(x, op.dur))
+		proc.AddEdge(ta.Edge{
+			Src: idle, Dst: run,
+			Guard:  dispatchGuard(sched, ops, op),
+			Sync:   hurrySync,
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}},
+			Update: ta.Inc(op.in, -1),
+		})
+		upd, sync := b.completion(op)
+		proc.AddEdge(ta.Edge{Src: run, Dst: idle,
+			ClockGuard: ta.CEq(x, op.dur), Update: upd, Sync: sync})
+	}
+	if len(los) == 0 {
+		return nil
+	}
+	// Safe static range for the dynamic deadline: the busy-window fixpoint
+	// w = C_lo + Σ_hi (queueCap + ceil(w/P_hi))·C_hi. Queued backlog is
+	// bounded by the queue cap (enforced at run time) and new arrivals by
+	// the period, so w bounds every reachable D. Divergence means the
+	// paper's warning applies — D would grow forever — and is reported as
+	// an error.
+	dmax, err := b.preemptionBudget(name, his, los)
+	if err != nil {
+		return err
+	}
+	y := b.net.AddClock(name + ".y")
+	d := b.net.AddVar(name+".D", 0, 0, dmax)
+	for _, op := range los {
+		run := proc.AddLocation("run_"+op.name, ta.Normal, ta.CLEVar(x, d))
+		proc.AddEdge(ta.Edge{
+			Src: idle, Dst: run,
+			Guard:  dispatchGuard(sched, ops, op),
+			Sync:   hurrySync,
+			Resets: []ta.Reset{{Clock: x.ID, Value: 0}},
+			Update: ta.Do(ta.Inc(op.in, -1), ta.SetConst(d, op.dur)),
+		})
+		upd, sync := b.completion(op)
+		proc.AddEdge(ta.Edge{Src: run, Dst: idle,
+			ClockGuard: ta.CEqVar(x, d),
+			Update:     ta.Do(ta.SetConst(d, 0), upd), Sync: sync})
+		for _, h := range his {
+			pre := proc.AddLocation("pre_"+op.name+"_"+h.name, ta.Normal, ta.CLE(y, h.dur))
+			proc.AddEdge(ta.Edge{
+				Src: run, Dst: pre,
+				Guard:  ta.VarCmp(h.in, ta.Gt, 0),
+				Sync:   hurrySync,
+				Resets: []ta.Reset{{Clock: y.ID, Value: 0}},
+				Update: ta.Inc(h.in, -1),
+			})
+			hupd, hsync := b.completion(h)
+			proc.AddEdge(ta.Edge{Src: pre, Dst: run,
+				ClockGuard: ta.CEq(y, h.dur),
+				Update:     ta.Do(ta.Inc(d, h.dur), hupd), Sync: hsync})
+		}
+	}
+	return nil
+}
+
+// preemptionBudget bounds the dynamic deadline D of the Fig. 5 template on
+// one resource by iterating the busy-window equation over the low ops' worst
+// base demand and the high ops' arrival rates.
+func (b *builder) preemptionBudget(name string, his, los []rop) (int64, error) {
+	base := int64(0)
+	for _, op := range los {
+		if op.dur > base {
+			base = op.dur
+		}
+	}
+	periods := make([]int64, len(his))
+	for i, h := range his {
+		p, err := b.units(h.sc.Arrival.PeriodMS)
+		if err != nil {
+			return 0, err
+		}
+		periods[i] = p
+	}
+	w := base
+	for iter := 0; iter < 1000; iter++ {
+		next := base
+		for i, h := range his {
+			arrivals := b.opts.QueueCap + (w+periods[i]-1)/periods[i]
+			next += arrivals * h.dur
+		}
+		if next == w {
+			return w, nil
+		}
+		if next > 1<<50 {
+			break
+		}
+		w = next
+	}
+	return 0, fmt.Errorf("arch: resource %s: the preemption accumulator D is unbounded (the low-priority class can be preempted forever); model checking is impossible, as the paper notes", name)
+}
+
+// splitClasses partitions ops into the high-priority class and the
+// (single-priority) low class required by the Fig. 5 template.
+func splitClasses(name string, ops []rop) (his, los []rop, err error) {
+	prios := map[int]bool{}
+	maxPrio := ops[0].prio
+	for _, op := range ops {
+		prios[op.prio] = true
+		if op.prio > maxPrio {
+			maxPrio = op.prio
+		}
+	}
+	if len(prios) > 2 {
+		return nil, nil, fmt.Errorf("arch: resource %s: the preemptive template supports at most two priority classes, got %d", name, len(prios))
+	}
+	for _, op := range ops {
+		if op.prio == maxPrio && len(prios) == 2 {
+			his = append(his, op)
+		} else if len(prios) == 1 {
+			// A single class cannot preempt itself: all ops run to
+			// completion, none are preemptible.
+			his = append(his, op)
+		} else {
+			los = append(los, op)
+		}
+	}
+	return his, los, nil
+}
+
+// buildObserver emits the generalized Fig. 9 measuring automaton: it counts
+// in-flight activations between the start and end signals (n), picks one
+// nondeterministically (m := n, y := 0) and, assuming FIFO processing as the
+// paper does, recognizes its completion when m reaches zero, visiting the
+// committed "seen" location where y equals the response time exactly.
+func (b *builder) buildObserver(horizon int64) Observer {
+	capN := b.opts.QueueCap*int64(len(b.req.Scenario.Steps)) + 2
+	m := b.net.AddVar("obs.m", -1, -1, capN)
+	n := b.net.AddVar("obs.n", 0, 0, capN)
+	y := b.net.AddClock("obs.y")
+	b.net.EnsureMaxConst(y.ID, horizon)
+
+	p := b.net.AddProcess("OBS")
+	l := p.AddLocation("watch", ta.Normal)
+	seen := p.AddLocation("seen", ta.Committed)
+
+	startRecv := ta.Sync{Chan: b.startCh.ID, Dir: ta.Recv}
+	endRecv := ta.Sync{Chan: b.endCh.ID, Dir: ta.Recv}
+
+	// Pass an activation by. While no measurement is in progress (m == -1)
+	// the response clock is meaningless; freeing it keeps the zone graph
+	// small (active-clock reduction).
+	p.AddEdge(ta.Edge{Src: l, Dst: l, Sync: startRecv, Update: ta.Inc(n, 1),
+		Guard: ta.VarCmp(m, ta.Eq, -1), Frees: []ta.ClockID{y.ID}})
+	p.AddEdge(ta.Edge{Src: l, Dst: l, Sync: startRecv, Update: ta.Inc(n, 1),
+		Guard: ta.VarCmp(m, ta.Ge, 0)})
+	// Select this activation for measurement (at most one at a time).
+	p.AddEdge(ta.Edge{
+		Src: l, Dst: l, Sync: startRecv,
+		Guard:  ta.VarCmp(m, ta.Eq, -1),
+		Update: ta.Do(ta.Set(m, ta.V(n)), ta.Inc(n, 1)),
+		Resets: []ta.Reset{{Clock: y.ID, Value: 0}},
+	})
+	// Completions ahead of the measured activation.
+	p.AddEdge(ta.Edge{Src: l, Dst: l, Sync: endRecv,
+		Guard:  ta.VarCmp(m, ta.Gt, 0),
+		Update: ta.Do(ta.Inc(m, -1), ta.Inc(n, -1))})
+	// Completions while nothing is being measured.
+	p.AddEdge(ta.Edge{Src: l, Dst: l, Sync: endRecv,
+		Guard:  ta.VarCmp(m, ta.Eq, -1),
+		Update: ta.Inc(n, -1), Frees: []ta.ClockID{y.ID}})
+	// The measured activation completes: y is its response time.
+	p.AddEdge(ta.Edge{Src: l, Dst: seen, Sync: endRecv,
+		Guard:  ta.VarCmp(m, ta.Eq, 0),
+		Update: ta.Do(ta.SetConst(m, -1), ta.Inc(n, -1))})
+	p.AddEdge(ta.Edge{Src: seen, Dst: l, Frees: []ta.ClockID{y.ID}})
+
+	return Observer{Proc: ta.ProcID(len(b.net.Procs) - 1), Seen: seen, Y: y}
+}

@@ -1,0 +1,53 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the deployment as a Graphviz digraph — the textual analogue of
+// the paper's Figure 1: hardware resources as boxes (with capacities and
+// schedulers) and each scenario's step chain as a colored path across them.
+func (s *System) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=9];\n", s.Name)
+	procID := map[*Processor]string{}
+	for i, p := range s.Processors {
+		id := fmt.Sprintf("proc%d", i)
+		procID[p] = id
+		fmt.Fprintf(&sb, "  %s [shape=box, style=filled, fillcolor=lightblue, label=\"%s\\n%d MIPS, %s\"];\n",
+			id, p.Name, p.MIPS, p.Sched)
+	}
+	busID := map[*Bus]string{}
+	for i, b := range s.Buses {
+		id := fmt.Sprintf("bus%d", i)
+		busID[b] = id
+		label := fmt.Sprintf("%s\\n%d kbit/s, %s", b.Name, b.KBitPerSec, b.Sched)
+		if b.TDMA != nil {
+			label += fmt.Sprintf("\\ncycle %s ms, %d slots", b.TDMA.CycleMS.RatString(), len(b.TDMA.Slots))
+		}
+		fmt.Fprintf(&sb, "  %s [shape=box3d, style=filled, fillcolor=lightyellow, label=\"%s\"];\n",
+			id, label)
+	}
+	colors := []string{"red", "blue", "darkgreen", "purple", "orange", "brown"}
+	for si, sc := range s.Scenarios {
+		color := colors[si%len(colors)]
+		fmt.Fprintf(&sb, "  env%d [shape=oval, label=\"%s\\n%v (prio %d)\"];\n",
+			si, sc.Name, sc.Arrival, sc.Priority)
+		prev := fmt.Sprintf("env%d", si)
+		for i := range sc.Steps {
+			st := &sc.Steps[i]
+			var node string
+			if st.IsCompute() {
+				node = procID[st.Proc]
+			} else {
+				node = busID[st.Bus]
+			}
+			fmt.Fprintf(&sb, "  %s -> %s [color=%s, label=\"%d. %s\\n%s ms\"];\n",
+				prev, node, color, i+1, st.Name, st.DurationMS().FloatString(3))
+			prev = node
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

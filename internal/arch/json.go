@@ -1,0 +1,255 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// jsonSystem is the on-disk description consumed by ParseSystem. All
+// millisecond fields are strings parsed as exact rationals ("31.25",
+// "125/4").
+type jsonSystem struct {
+	Name       string            `json:"name"`
+	Processors []jsonProcessor   `json:"processors"`
+	Buses      []jsonBus         `json:"buses"`
+	Scenarios  []jsonScenario    `json:"scenarios"`
+	Reqs       []jsonRequirement `json:"requirements"`
+}
+
+type jsonProcessor struct {
+	Name  string `json:"name"`
+	MIPS  int64  `json:"mips"`
+	Sched string `json:"sched"`
+}
+
+type jsonBus struct {
+	Name       string    `json:"name"`
+	KBitPerSec int64     `json:"kbit_per_sec"`
+	Sched      string    `json:"sched"`
+	TDMA       *jsonTDMA `json:"tdma,omitempty"`
+}
+
+type jsonTDMA struct {
+	CycleMS string     `json:"cycle_ms"`
+	Slots   []jsonSlot `json:"slots"`
+}
+
+type jsonSlot struct {
+	Scenario string `json:"scenario"`
+	StartMS  string `json:"start_ms"`
+	EndMS    string `json:"end_ms"`
+}
+
+type jsonScenario struct {
+	Name     string      `json:"name"`
+	Priority int         `json:"priority"`
+	Arrival  jsonArrival `json:"arrival"`
+	Steps    []jsonStep  `json:"steps"`
+}
+
+type jsonArrival struct {
+	Kind     string `json:"kind"` // po, pno, sp, pj, bur
+	PeriodMS string `json:"period_ms"`
+	OffsetMS string `json:"offset_ms,omitempty"`
+	JitterMS string `json:"jitter_ms,omitempty"`
+	MinSepMS string `json:"min_sep_ms,omitempty"`
+}
+
+type jsonStep struct {
+	Name         string `json:"name"`
+	Processor    string `json:"processor,omitempty"`
+	Instructions int64  `json:"instructions,omitempty"`
+	Bus          string `json:"bus,omitempty"`
+	Bytes        int64  `json:"bytes,omitempty"`
+	Priority     int    `json:"priority,omitempty"`
+}
+
+type jsonRequirement struct {
+	Name     string `json:"name"`
+	Scenario string `json:"scenario"`
+	From     int    `json:"from"` // -1 = injection
+	To       int    `json:"to"`
+}
+
+func parseSched(s string) (SchedKind, error) {
+	switch s {
+	case "", "fp":
+		return SchedFP, nil
+	case "nondet":
+		return SchedNondet, nil
+	case "fp-preemptive", "preemptive":
+		return SchedFPPreempt, nil
+	case "tdma":
+		return SchedTDMA, nil
+	}
+	return 0, fmt.Errorf("arch: unknown scheduler %q", s)
+}
+
+func parseRat(s, what string) (*big.Rat, error) {
+	if s == "" {
+		return nil, nil
+	}
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return nil, fmt.Errorf("arch: cannot parse %s %q as a rational", what, s)
+	}
+	return r, nil
+}
+
+func parseArrival(a jsonArrival) (EventModel, error) {
+	period, err := parseRat(a.PeriodMS, "period")
+	if err != nil {
+		return EventModel{}, err
+	}
+	offset, err := parseRat(a.OffsetMS, "offset")
+	if err != nil {
+		return EventModel{}, err
+	}
+	jitter, err := parseRat(a.JitterMS, "jitter")
+	if err != nil {
+		return EventModel{}, err
+	}
+	minSep, err := parseRat(a.MinSepMS, "min separation")
+	if err != nil {
+		return EventModel{}, err
+	}
+	switch a.Kind {
+	case "po", "periodic":
+		if offset == nil {
+			offset = new(big.Rat)
+		}
+		return Periodic(period, offset), nil
+	case "pno":
+		return PeriodicUnknownOffset(period), nil
+	case "sp", "sporadic":
+		return Sporadic(period), nil
+	case "pj":
+		return PeriodicJitter(period, jitter), nil
+	case "bur", "bursty":
+		if minSep == nil {
+			minSep = new(big.Rat)
+		}
+		return Bursty(period, jitter, minSep), nil
+	}
+	return EventModel{}, fmt.Errorf("arch: unknown arrival kind %q", a.Kind)
+}
+
+// ParseSystem decodes a JSON system description plus its requirements and
+// validates both.
+func ParseSystem(data []byte) (*System, []*Requirement, error) {
+	var js jsonSystem
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, nil, fmt.Errorf("arch: %w", err)
+	}
+	sys := NewSystem(js.Name)
+	procs := map[string]*Processor{}
+	for _, p := range js.Processors {
+		sched, err := parseSched(p.Sched)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := procs[p.Name]; dup {
+			return nil, nil, fmt.Errorf("arch: duplicate processor %q", p.Name)
+		}
+		procs[p.Name] = sys.AddProcessor(p.Name, p.MIPS, sched)
+	}
+	buses := map[string]*Bus{}
+	for _, b := range js.Buses {
+		sched, err := parseSched(b.Sched)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := buses[b.Name]; dup {
+			return nil, nil, fmt.Errorf("arch: duplicate bus %q", b.Name)
+		}
+		buses[b.Name] = sys.AddBus(b.Name, b.KBitPerSec, sched)
+	}
+	// TDMA slot tables reference scenarios, so they are resolved after the
+	// scenario pass below.
+	var tdmaFixups []func() error
+	for bi := range js.Buses {
+		jb := js.Buses[bi]
+		if jb.TDMA == nil {
+			continue
+		}
+		bus := buses[jb.Name]
+		tdmaFixups = append(tdmaFixups, func() error {
+			cycle, err := parseRat(jb.TDMA.CycleMS, "TDMA cycle")
+			if err != nil {
+				return err
+			}
+			cfg := &TDMAConfig{CycleMS: cycle}
+			for _, sl := range jb.TDMA.Slots {
+				sc := sys.ScenarioByName(sl.Scenario)
+				if sc == nil {
+					return fmt.Errorf("arch: bus %s: TDMA slot references unknown scenario %q",
+						jb.Name, sl.Scenario)
+				}
+				start, err := parseRat(sl.StartMS, "TDMA slot start")
+				if err != nil {
+					return err
+				}
+				end, err := parseRat(sl.EndMS, "TDMA slot end")
+				if err != nil {
+					return err
+				}
+				cfg.Slots = append(cfg.Slots, TDMASlot{Scenario: sc, StartMS: start, EndMS: end})
+			}
+			bus.TDMA = cfg
+			return nil
+		})
+	}
+	for _, s := range js.Scenarios {
+		arrival, err := parseArrival(s.Arrival)
+		if err != nil {
+			return nil, nil, fmt.Errorf("arch: scenario %s: %w", s.Name, err)
+		}
+		sc := sys.AddScenario(s.Name, s.Priority, arrival)
+		for _, st := range s.Steps {
+			switch {
+			case st.Processor != "" && st.Bus == "":
+				p := procs[st.Processor]
+				if p == nil {
+					return nil, nil, fmt.Errorf("arch: scenario %s step %s: unknown processor %q",
+						s.Name, st.Name, st.Processor)
+				}
+				sc.Compute(st.Name, p, st.Instructions)
+			case st.Bus != "" && st.Processor == "":
+				b := buses[st.Bus]
+				if b == nil {
+					return nil, nil, fmt.Errorf("arch: scenario %s step %s: unknown bus %q",
+						s.Name, st.Name, st.Bus)
+				}
+				sc.Transfer(st.Name, b, st.Bytes)
+			default:
+				return nil, nil, fmt.Errorf("arch: scenario %s step %s: exactly one of processor/bus required",
+					s.Name, st.Name)
+			}
+			if st.Priority != 0 {
+				sc.WithPriority(st.Priority)
+			}
+		}
+	}
+	for _, fix := range tdmaFixups {
+		if err := fix(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var reqs []*Requirement
+	for _, r := range js.Reqs {
+		sc := sys.ScenarioByName(r.Scenario)
+		if sc == nil {
+			return nil, nil, fmt.Errorf("arch: requirement %s: unknown scenario %q", r.Name, r.Scenario)
+		}
+		req := &Requirement{Name: r.Name, Scenario: sc, FromStep: r.From, ToStep: r.To}
+		if err := req.Validate(); err != nil {
+			return nil, nil, err
+		}
+		reqs = append(reqs, req)
+	}
+	return sys, reqs, nil
+}

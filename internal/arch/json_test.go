@@ -1,0 +1,135 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+const pipelineJSON = `{
+  "name": "pipe",
+  "processors": [
+    {"name": "A", "mips": 10, "sched": "fp"},
+    {"name": "B", "mips": 20, "sched": "fp-preemptive"}
+  ],
+  "buses": [{"name": "BUS", "kbit_per_sec": 8, "sched": "fp"}],
+  "scenarios": [{
+    "name": "job", "priority": 1,
+    "arrival": {"kind": "po", "period_ms": "100", "offset_ms": "0"},
+    "steps": [
+      {"name": "opA", "processor": "A", "instructions": 100000},
+      {"name": "msg", "bus": "BUS", "bytes": 10},
+      {"name": "opB", "processor": "B", "instructions": 200000}
+    ]
+  }],
+  "requirements": [{"name": "e2e", "scenario": "job", "from": -1, "to": 2}]
+}`
+
+func TestParseSystemRoundTrip(t *testing.T) {
+	sys, reqs, err := ParseSystem([]byte(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Processors) != 2 || len(sys.Buses) != 1 || len(sys.Scenarios) != 1 {
+		t.Fatalf("unexpected shape: %+v", sys)
+	}
+	if sys.Processors[1].Sched != SchedFPPreempt {
+		t.Error("scheduler not parsed")
+	}
+	if len(reqs) != 1 || reqs[0].Name != "e2e" {
+		t.Fatalf("requirements not parsed: %+v", reqs)
+	}
+	res, err := AnalyzeWCRT(sys, reqs[0], Options{HorizonMS: 100}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MS.RatString() != "30" {
+		t.Errorf("parsed pipeline WCRT = %s, want 30", res.MS.RatString())
+	}
+}
+
+func TestParseSystemRationalTimes(t *testing.T) {
+	js := `{
+	  "name": "x",
+	  "processors": [{"name": "P", "mips": 22}],
+	  "scenarios": [{
+	    "name": "s", "priority": 1,
+	    "arrival": {"kind": "po", "period_ms": "125/4"},
+	    "steps": [{"name": "op", "processor": "P", "instructions": 100000}]
+	  }]
+	}`
+	sys, _, err := ParseSystem([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Scenarios[0].Arrival.PeriodMS.RatString() != "125/4" {
+		t.Errorf("period = %s", sys.Scenarios[0].Arrival.PeriodMS.RatString())
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"x","scenarios":[{"name":"s","priority":1,
+		  "arrival":{"kind":"warp","period_ms":"10"},
+		  "steps":[{"name":"op","processor":"P","instructions":1}]}]}`,
+		`{"name":"x","scenarios":[{"name":"s","priority":1,
+		  "arrival":{"kind":"po","period_ms":"10"},
+		  "steps":[{"name":"op","processor":"NOPE","instructions":1}]}]}`,
+		`{"name":"x","processors":[{"name":"P","mips":1,"sched":"quantum"}]}`,
+		`{"name":"x","processors":[{"name":"P","mips":1},{"name":"P","mips":2}]}`,
+		`{"name":"x","processors":[{"name":"P","mips":1}],
+		  "scenarios":[{"name":"s","priority":1,
+		  "arrival":{"kind":"po","period_ms":"ten"},
+		  "steps":[{"name":"op","processor":"P","instructions":1}]}]}`,
+		`{"name":"x","processors":[{"name":"P","mips":1}],
+		  "scenarios":[{"name":"s","priority":1,
+		  "arrival":{"kind":"po","period_ms":"10"},
+		  "steps":[{"name":"op","processor":"P","bus":"B","instructions":1}]}]}`,
+		`{"name":"x","processors":[{"name":"P","mips":1}],
+		  "scenarios":[{"name":"s","priority":1,
+		  "arrival":{"kind":"po","period_ms":"10"},
+		  "steps":[{"name":"op","processor":"P","instructions":1}]}],
+		  "requirements":[{"name":"r","scenario":"ghost","from":-1,"to":0}]}`,
+	}
+	for i, js := range cases {
+		if _, _, err := ParseSystem([]byte(js)); err == nil {
+			t.Errorf("case %d: expected a parse/validation error", i)
+		}
+	}
+}
+
+func TestParseSystemTDMA(t *testing.T) {
+	js := `{
+	  "name": "t",
+	  "buses": [{"name": "B", "kbit_per_sec": 8, "sched": "tdma",
+	    "tdma": {"cycle_ms": "20", "slots": [
+	      {"scenario": "s", "start_ms": "0", "end_ms": "5"}]}}],
+	  "scenarios": [{"name": "s", "priority": 1,
+	    "arrival": {"kind": "sp", "period_ms": "50"},
+	    "steps": [{"name": "m", "bus": "B", "bytes": 3}]}],
+	  "requirements": [{"name": "e", "scenario": "s", "from": -1, "to": 0}]
+	}`
+	sys, reqs, err := ParseSystem([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Buses[0].TDMA == nil || len(sys.Buses[0].TDMA.Slots) != 1 {
+		t.Fatal("TDMA table not parsed")
+	}
+	res, err := AnalyzeWCRT(sys, reqs[0], Options{HorizonMS: 200}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MS.RatString() != "23" {
+		t.Errorf("parsed TDMA WCRT = %s, want 23", res.MS.FloatString(3))
+	}
+	// Slot referencing an unknown scenario must fail.
+	bad := `{"name":"t","buses":[{"name":"B","kbit_per_sec":8,"sched":"tdma",
+	  "tdma":{"cycle_ms":"20","slots":[{"scenario":"ghost","start_ms":"0","end_ms":"5"}]}}],
+	  "scenarios":[{"name":"s","priority":1,"arrival":{"kind":"sp","period_ms":"50"},
+	  "steps":[{"name":"m","bus":"B","bytes":3}]}]}`
+	if _, _, err := ParseSystem([]byte(bad)); err == nil {
+		t.Error("unknown slot scenario must be rejected")
+	}
+}

@@ -1,0 +1,79 @@
+package arch
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// computeScale returns the least common multiple L of the denominators of
+// every duration and event-model parameter in the system, so that one model
+// time unit of 1/L milliseconds makes all timing constants exact integers.
+func computeScale(sys *System) (*big.Int, error) {
+	l := big.NewInt(1)
+	add := func(r *big.Rat) {
+		if r == nil {
+			return
+		}
+		l = lcm(l, r.Denom())
+	}
+	for _, sc := range sys.Scenarios {
+		for i := range sc.Steps {
+			add(sc.Steps[i].DurationMS())
+		}
+		add(sc.Arrival.PeriodMS)
+		add(sc.Arrival.OffsetMS)
+		add(sc.Arrival.JitterMS)
+		add(sc.Arrival.MinSepMS)
+	}
+	// Guard against pathological inputs producing units too fine for the
+	// int64 DBM arithmetic (sums of bounds must not overflow).
+	if l.BitLen() > 40 {
+		return nil, fmt.Errorf("arch: common time base denominator %s is too fine; simplify the timing constants", l)
+	}
+	return l, nil
+}
+
+func lcm(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	out := new(big.Int).Div(a, g)
+	return out.Mul(out, b)
+}
+
+// toUnits converts the exact millisecond value r to integer model time units
+// under the given scale. It errs if the value is not integral (which cannot
+// happen for scales from computeScale) or too large.
+func toUnits(r *big.Rat, scale *big.Int) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	v := new(big.Rat).Mul(r, new(big.Rat).SetInt(scale))
+	if !v.IsInt() {
+		return 0, fmt.Errorf("arch: %s ms is not integral at scale 1/%s ms", r.RatString(), scale)
+	}
+	n := v.Num()
+	if !n.IsInt64() {
+		return 0, fmt.Errorf("arch: %s ms overflows the model time base", r.RatString())
+	}
+	u := n.Int64()
+	if u < 0 {
+		return 0, fmt.Errorf("arch: negative duration %s ms", r.RatString())
+	}
+	return u, nil
+}
+
+// unitsToMS converts a model-time value back to exact milliseconds.
+func unitsToMS(u int64, scale *big.Int) *big.Rat {
+	return new(big.Rat).SetFrac(big.NewInt(u), scale)
+}
+
+// TimeScale exposes the system's exact integer time base: the number of
+// model time units per millisecond. Alternative analyses (the discrete-event
+// simulator, busy-window analysis, real-time calculus) share this base so
+// their results are directly comparable to the model checker's.
+func (s *System) TimeScale() (*big.Int, error) { return computeScale(s) }
+
+// ToUnits converts exact milliseconds to integer time units under scale.
+func ToUnits(r *big.Rat, scale *big.Int) (int64, error) { return toUnits(r, scale) }
+
+// UnitsToMS converts integer time units back to exact milliseconds.
+func UnitsToMS(u int64, scale *big.Int) *big.Rat { return unitsToMS(u, scale) }

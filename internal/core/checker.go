@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// Property is a state predicate to be verified invariantly (AG Holds).
+type Property struct {
+	Desc  string
+	Holds func(*State) bool
+}
+
+// SafetyResult is the outcome of CheckSafety.
+type SafetyResult struct {
+	Stats
+	// Holds reports whether the property held on every explored state. When
+	// the exploration was truncated, Holds true is inconclusive.
+	Holds bool
+	// Counterexample is a trace to a violating state when Holds is false.
+	Counterexample []TraceStep
+}
+
+// CheckSafety verifies AG prop.Holds by exhaustive symbolic reachability,
+// returning a counterexample trace on violation.
+func (c *Checker) CheckSafety(prop Property, opts Options) (SafetyResult, error) {
+	res, err := c.Explore(opts, func(s *State) bool { return !prop.Holds(s) })
+	if err != nil {
+		return SafetyResult{}, err
+	}
+	return SafetyResult{
+		Stats:          res.Stats,
+		Holds:          !res.Found,
+		Counterexample: res.Trace,
+	}, nil
+}
+
+// Reachable reports whether a state satisfying pred is reachable, with a
+// witness trace.
+func (c *Checker) Reachable(pred func(*State) bool, opts Options) (bool, []TraceStep, Stats, error) {
+	res, err := c.Explore(opts, pred)
+	if err != nil {
+		return false, nil, Stats{}, err
+	}
+	return res.Found, res.Trace, res.Stats, nil
+}
+
+// SupResult is the outcome of SupClock.
+type SupResult struct {
+	Stats
+	// Seen reports whether any state satisfied the condition.
+	Seen bool
+	// Max is the supremum bound of the clock over all condition states, with
+	// exact strictness: (≤ v) means v is attained, (< v) means approached.
+	Max dbm.Bound
+	// Unbounded reports that the clock's upper bound was abstracted to
+	// infinity by extrapolation in some condition state, i.e. the supremum
+	// lies beyond the registered maximal constant (observation horizon).
+	Unbounded bool
+	// Witness is a trace to the state realizing Max (or the first unbounded
+	// state).
+	Witness []TraceStep
+}
+
+// SupClock computes the supremum of clock over every reachable state
+// satisfying cond. This is the single-pass alternative to the paper's manual
+// binary search: because the observer's "seen" location is committed, no
+// delay is folded into those states and the zone's upper bound on the
+// measuring clock is exactly the response time of the measured event.
+//
+// The clock's maximal constant (ta.Network.EnsureMaxConst) must be at least
+// the largest value of interest; beyond it the result degrades to Unbounded.
+func (c *Checker) SupClock(clock ta.ClockID, cond func(*State) bool, opts Options) (SupResult, error) {
+	if opts.Workers > 1 {
+		return c.SupClockParallel(clock, cond, opts, opts.Workers)
+	}
+	out := SupResult{Max: dbm.LT(0)}
+	res, err := c.Explore(opts, func(s *State) bool {
+		if !cond(s) {
+			return false
+		}
+		out.Seen = true
+		b := s.Zone.Sup(int(clock))
+		if b == dbm.Infinity {
+			out.Unbounded = true
+			return true // nothing larger can be learned
+		}
+		if b > out.Max {
+			out.Max = b
+		}
+		return false
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Stats = res.Stats
+	if res.Found {
+		out.Witness = res.Trace
+	}
+	return out, nil
+}
+
+// BinarySearchResult is the outcome of BinarySearchWCRT.
+type BinarySearchResult struct {
+	// MinimalC is the least integer C in (lo, hi] for which
+	// AG(cond → clock < C) holds.
+	MinimalC int64
+	// Holds reports whether any C ≤ hi satisfied the property; when false,
+	// hi is a strict lower bound on the WCRT.
+	Holds bool
+	// Iterations counts model-checking runs performed.
+	Iterations int
+	// TotalStats accumulates effort over all runs.
+	TotalStats Stats
+}
+
+// BinarySearchWCRT reproduces the paper's methodology for Property 1:
+// repeatedly model check AG(cond → clock < C), halving the interval
+// (lo, hi], to find the smallest constant C for which the property is
+// satisfied. The WCRT then lies in [C-1, C).
+//
+// SupClock gives the same answer in one pass; this entry point exists to
+// reproduce — and cross-validate against — the paper's procedure.
+func (c *Checker) BinarySearchWCRT(clock ta.ClockID, cond func(*State) bool,
+	lo, hi int64, opts Options) (BinarySearchResult, error) {
+	if lo < 0 || hi <= lo {
+		return BinarySearchResult{}, fmt.Errorf("core: invalid binary search interval (%d, %d]", lo, hi)
+	}
+	var out BinarySearchResult
+	check := func(C int64) (bool, error) {
+		out.Iterations++
+		prop := Property{
+			Desc: fmt.Sprintf("AG(cond -> x%d < %d)", clock, C),
+			Holds: func(s *State) bool {
+				if !cond(s) {
+					return true
+				}
+				// The zone admits a valuation with clock ≥ C exactly when
+				// its upper bound is at least (≤ C).
+				return s.Zone.Sup(int(clock)) < dbm.LE(C)
+			},
+		}
+		sr, err := c.CheckSafety(prop, opts)
+		if err != nil {
+			return false, err
+		}
+		out.TotalStats.Stored += sr.Stored
+		out.TotalStats.Popped += sr.Popped
+		out.TotalStats.Transitions += sr.Transitions
+		out.TotalStats.Duration += sr.Duration
+		if sr.Truncated {
+			return false, fmt.Errorf("core: binary search exploration truncated at %d states", sr.Stored)
+		}
+		return sr.Holds, nil
+	}
+	ok, err := check(hi)
+	if err != nil {
+		return out, err
+	}
+	if !ok {
+		out.Holds = false
+		return out, nil
+	}
+	out.Holds = true
+	// Bisection invariant: the property is assumed to fail at lo (lo is an
+	// exclusive lower bound supplied by the caller, typically 0) and has
+	// been verified at hi. Monotonicity in C makes the search exact.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := check(mid)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	out.MinimalC = hi
+	return out, nil
+}
+
+// DeadlockResult is the outcome of CheckDeadlockFree.
+type DeadlockResult struct {
+	Stats
+	// Free reports whether no reachable state deadlocks. Inconclusive when
+	// the exploration was truncated.
+	Free bool
+	// Witness is a trace to the first deadlocked state when Free is false.
+	Witness []TraceStep
+}
+
+// CheckDeadlockFree explores the zone graph looking for states with no
+// action successor (UPPAAL's "deadlock" property). Because stored states are
+// closed under delay, a state without successors admits no escape at any
+// future time point.
+func (c *Checker) CheckDeadlockFree(opts Options) (DeadlockResult, error) {
+	opts.StopAtDeadlock = true
+	res, err := c.Explore(opts, nil)
+	if err != nil {
+		return DeadlockResult{}, err
+	}
+	return DeadlockResult{
+		Stats:   res.Stats,
+		Free:    res.Deadlocks == 0,
+		Witness: res.DeadlockTrace,
+	}, nil
+}
+
+// MaxVarResult is the outcome of MaxVar.
+type MaxVarResult struct {
+	Stats
+	// Max is the largest value the variable takes over all reachable
+	// states; Min is the smallest.
+	Max, Min int64
+	// Seen reports whether any state matched the condition.
+	Seen bool
+}
+
+// MaxVar computes the range of an integer variable over all reachable states
+// satisfying cond (nil means all states) — e.g. the peak queue depth of a
+// pending-events counter, or the largest preemption accumulator D, the
+// quantity the paper's Section 3.1 asks to bound before model checking.
+func (c *Checker) MaxVar(v ta.VarID, cond func(*State) bool, opts Options) (MaxVarResult, error) {
+	out := MaxVarResult{Max: -1 << 62, Min: 1<<62 - 1}
+	res, err := c.Explore(opts, func(s *State) bool {
+		if cond != nil && !cond(s) {
+			return false
+		}
+		out.Seen = true
+		if s.Vars[v] > out.Max {
+			out.Max = s.Vars[v]
+		}
+		if s.Vars[v] < out.Min {
+			out.Min = s.Vars[v]
+		}
+		return false
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Stats = res.Stats
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ta"
+)
+
+// TestExtraLUPreservesReachability shows the flip side: for pure location
+// reachability LU agrees with M while (typically) storing fewer states.
+func TestExtraLUPreservesReachability(t *testing.T) {
+	n := ta.NewNetwork("reach")
+	x := n.AddClock("x")
+	g := n.AddClock("g")
+	p := n.AddProcess("P")
+	l0 := p.AddLocation("l0", ta.Normal, ta.CLE(x, 10))
+	l1 := p.AddLocation("l1", ta.Normal)
+	// g only appears in a lower-bound guard: LU drops its upper rows.
+	p.AddEdge(ta.Edge{Src: l0, Dst: l0, ClockGuard: ta.CEq(x, 10),
+		Resets: []ta.Reset{{Clock: x.ID, Value: 0}}})
+	p.AddEdge(ta.Edge{Src: l0, Dst: l1,
+		ClockGuard: []ta.Constraint{ta.CGE(g, 25)}})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, coarse := range []bool{false, true} {
+		c, _ := NewChecker(n)
+		c.SetCoarseExtrapolation(coarse)
+		found, _, _, err := c.Reachable(func(s *State) bool { return s.Locs[0] == l1 }, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Errorf("coarse=%v: l1 must be reachable", coarse)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// pstore is a concurrent passed-state store: the bucket space is sharded and
+// each shard carries its own lock, so workers exploring disjoint regions of
+// the zone graph rarely contend.
+type pstore struct {
+	shards [64]struct {
+		mu      sync.Mutex
+		buckets map[uint64][]*storeEntry
+	}
+	zones atomic.Int64
+}
+
+func newPStore() *pstore {
+	st := &pstore{}
+	for i := range st.shards {
+		st.shards[i].buckets = make(map[uint64][]*storeEntry)
+	}
+	return st
+}
+
+// Add inserts the state unless it is subsumed, reporting whether it is new.
+// The subsumption logic mirrors store.Add under the shard lock.
+func (st *pstore) Add(s *State) bool {
+	h := discreteHash(s.Locs, s.Vars)
+	sh := &st.shards[h%64]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket := sh.buckets[h]
+	var entry *storeEntry
+	for _, e := range bucket {
+		if len(e.locs) == len(s.Locs) && len(e.vars) == len(s.Vars) &&
+			discreteEqual(e.locs, s.Locs, e.vars, s.Vars) {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		entry = &storeEntry{locs: s.Locs, vars: s.Vars}
+		sh.buckets[h] = append(sh.buckets[h], entry)
+	}
+	for _, z := range entry.zones {
+		if s.Zone.SubsetEq(z) {
+			return false
+		}
+	}
+	keep := entry.zones[:0]
+	for _, z := range entry.zones {
+		if !z.SubsetEq(s.Zone) {
+			keep = append(keep, z)
+		} else {
+			st.zones.Add(-1)
+		}
+	}
+	entry.zones = append(keep, s.Zone)
+	st.zones.Add(1)
+	return true
+}
+
+// ExploreParallel performs the same symbolic reachability as Explore using
+// several worker goroutines over a shared work list and a sharded passed
+// store. It trades the sequential explorer's trace reconstruction for
+// throughput: the result carries statistics and the stop state, but no
+// trace. The visitor must be safe for concurrent use.
+//
+// Subsumption remains sound under concurrency: a state admitted by two
+// workers simultaneously is expanded at most twice (harmless), never lost.
+func (c *Checker) ExploreParallel(opts Options, workers int, visit func(*State) bool) (ExploreResult, error) {
+	start := time.Now()
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var res ExploreResult
+	init, err := c.eng.initial()
+	if err != nil {
+		return res, err
+	}
+	passed := newPStore()
+	passed.Add(init)
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.Cond{L: &mu}
+		waiting  = []*State{init}
+		inFlight = 0
+		done     bool
+
+		stored      atomic.Int64
+		popped      atomic.Int64
+		transitions atomic.Int64
+		deadlocks   atomic.Int64
+		truncated   atomic.Bool
+		foundState  atomic.Pointer[State]
+		firstErr    atomic.Pointer[error]
+	)
+	stored.Store(1)
+
+	stop := func() {
+		mu.Lock()
+		done = true
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	if visit != nil && visit(init) {
+		foundState.Store(init)
+		res.Found = true
+		res.FoundState = init
+		res.Stored = 1
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		var succs []succ
+		for {
+			mu.Lock()
+			for len(waiting) == 0 && inFlight > 0 && !done {
+				cond.Wait()
+			}
+			if done || (len(waiting) == 0 && inFlight == 0) {
+				done = true
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			s := waiting[len(waiting)-1]
+			waiting = waiting[:len(waiting)-1]
+			inFlight++
+			mu.Unlock()
+
+			popped.Add(1)
+			var err error
+			succs, err = c.eng.successors(s, succs[:0])
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				stop()
+				return
+			}
+			if len(succs) == 0 {
+				deadlocks.Add(1)
+			}
+			var fresh []*State
+			for _, sc := range succs {
+				transitions.Add(1)
+				if passed.Add(sc.state) {
+					stored.Add(1)
+					if visit != nil && visit(sc.state) {
+						foundState.CompareAndSwap(nil, sc.state)
+						stop()
+						return
+					}
+					fresh = append(fresh, sc.state)
+				}
+			}
+			if opts.MaxStates > 0 && stored.Load() >= int64(opts.MaxStates) {
+				truncated.Store(true)
+				stop()
+				return
+			}
+			mu.Lock()
+			waiting = append(waiting, fresh...)
+			inFlight--
+			if len(fresh) > 0 || (len(waiting) == 0 && inFlight == 0) {
+				cond.Broadcast()
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+
+	res.Duration = time.Since(start)
+	if ep := firstErr.Load(); ep != nil {
+		return res, *ep
+	}
+	res.Stored = int(stored.Load())
+	res.Popped = int(popped.Load())
+	res.Transitions = int(transitions.Load())
+	res.Deadlocks = int(deadlocks.Load())
+	res.Truncated = truncated.Load()
+	if fs := foundState.Load(); fs != nil {
+		res.Found = true
+		res.FoundState = fs
+	}
+	return res, nil
+}
+
+// SupClockParallel computes the same supremum as SupClock with a parallel
+// exploration; the witness trace is not reconstructed.
+func (c *Checker) SupClockParallel(clock ta.ClockID, cond func(*State) bool,
+	opts Options, workers int) (SupResult, error) {
+	var mu sync.Mutex
+	out := SupResult{Max: dbm.LT(0)}
+	res, err := c.ExploreParallel(opts, workers, func(s *State) bool {
+		if !cond(s) {
+			return false
+		}
+		b := s.Zone.Sup(int(clock))
+		mu.Lock()
+		defer mu.Unlock()
+		out.Seen = true
+		if b == dbm.Infinity {
+			out.Unbounded = true
+			return true
+		}
+		if b > out.Max {
+			out.Max = b
+		}
+		return false
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Stats = res.Stats
+	return out, nil
+}

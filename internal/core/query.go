@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ta"
+)
+
+// ParsePredicate compiles a textual state predicate against a network. The
+// language is a conjunction (&&) of atoms:
+//
+//	PROC.location        — process PROC is in the named location
+//	var <op> k           — integer variable comparison, op ∈ ==,!=,<,<=,>,>=
+//
+// Example: "RAD.busy && rec >= 2".
+func ParsePredicate(net *ta.Network, input string) (func(*State) bool, error) {
+	var preds []func(*State) bool
+	for _, atom := range strings.Split(input, "&&") {
+		atom = strings.TrimSpace(atom)
+		if atom == "" {
+			continue
+		}
+		p, err := parseAtom(net, atom)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("core: empty predicate")
+	}
+	return func(s *State) bool {
+		for _, p := range preds {
+			if !p(s) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func parseAtom(net *ta.Network, atom string) (func(*State) bool, error) {
+	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">"} {
+		if i := strings.Index(atom, op); i >= 0 {
+			name := strings.TrimSpace(atom[:i])
+			rhs := strings.TrimSpace(atom[i+len(op):])
+			k, err := strconv.ParseInt(rhs, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: predicate %q: right side must be an integer", atom)
+			}
+			idx := -1
+			for vi, v := range net.Vars {
+				if v.Name == name {
+					idx = vi
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("core: predicate %q: unknown variable %q", atom, name)
+			}
+			cmp := op
+			return func(s *State) bool {
+				v := s.Vars[idx]
+				switch cmp {
+				case "==":
+					return v == k
+				case "!=":
+					return v != k
+				case "<":
+					return v < k
+				case "<=":
+					return v <= k
+				case ">":
+					return v > k
+				default:
+					return v >= k
+				}
+			}, nil
+		}
+	}
+	procName, locName, found := strings.Cut(atom, ".")
+	if !found {
+		return nil, fmt.Errorf("core: predicate atom %q is neither PROC.loc nor var<op>k", atom)
+	}
+	for pi, p := range net.Procs {
+		if p.Name != procName {
+			continue
+		}
+		l := p.LocByName(locName)
+		if l < 0 {
+			return nil, fmt.Errorf("core: predicate %q: process %s has no location %q",
+				atom, procName, locName)
+		}
+		idx := pi
+		return func(s *State) bool { return s.Locs[idx] == l }, nil
+	}
+	return nil, fmt.Errorf("core: predicate %q: unknown process %q", atom, procName)
+}
+
+// FindClock resolves a clock name in the network, for query interfaces.
+func FindClock(net *ta.Network, name string) (ta.Clock, error) {
+	for _, c := range net.Clocks {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return ta.Clock{}, fmt.Errorf("core: unknown clock %q", name)
+}

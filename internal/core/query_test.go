@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ta"
+)
+
+func queryNet(t *testing.T) *ta.Network {
+	t.Helper()
+	n := ta.NewNetwork("q")
+	n.AddVar("rec", 0, 0, 9)
+	n.AddVar("m", -1, -1, 9)
+	p := n.AddProcess("SRV")
+	p.AddLocation("idle", ta.Normal)
+	p.AddLocation("busy", ta.Normal)
+	q := n.AddProcess("OBS")
+	q.AddLocation("watch", ta.Normal)
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParsePredicateAtoms(t *testing.T) {
+	n := queryNet(t)
+	s := &State{Locs: []ta.LocID{1, 0}, Vars: []int64{3, -1}}
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"SRV.busy", true},
+		{"SRV.idle", false},
+		{"OBS.watch", true},
+		{"rec == 3", true},
+		{"rec != 3", false},
+		{"rec >= 3", true},
+		{"rec > 3", false},
+		{"rec < 9", true},
+		{"rec <= 2", false},
+		{"m == -1", true},
+		{"SRV.busy && rec == 3", true},
+		{"SRV.busy && rec == 4", false},
+		{"SRV.idle && rec == 3", false},
+	}
+	for _, c := range cases {
+		pred, err := ParsePredicate(n, c.in)
+		if err != nil {
+			t.Errorf("ParsePredicate(%q): %v", c.in, err)
+			continue
+		}
+		if got := pred(s); got != c.want {
+			t.Errorf("%q = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	n := queryNet(t)
+	for _, in := range []string{
+		"", "GHOST.idle", "SRV.nowhere", "nonsense",
+		"rec == lots", "unknownvar == 3", "&&",
+	} {
+		if _, err := ParsePredicate(n, in); err == nil {
+			t.Errorf("ParsePredicate(%q) should fail", in)
+		}
+	}
+}
+
+func TestFindClock(t *testing.T) {
+	n := ta.NewNetwork("c")
+	x := n.AddClock("x")
+	n.AddProcess("P").AddLocation("l", ta.Normal)
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FindClock(n, "x")
+	if err != nil || got.ID != x.ID {
+		t.Errorf("FindClock(x) = %v, %v", got, err)
+	}
+	if _, err := FindClock(n, "nope"); err == nil {
+		t.Error("unknown clock must fail")
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ta"
+)
+
+// Order selects the exploration strategy of the waiting list.
+type Order int
+
+const (
+	// BFS explores breadth-first (shortest counterexamples).
+	BFS Order = iota
+	// DFS explores depth-first (the paper's "df" option).
+	DFS
+	// RDFS explores depth-first with randomly shuffled successors
+	// (the paper's "rdf" option, used as a structured-testing mode).
+	RDFS
+)
+
+func (o Order) String() string {
+	switch o {
+	case BFS:
+		return "bfs"
+	case DFS:
+		return "df"
+	case RDFS:
+		return "rdf"
+	}
+	return "?"
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Order is the search order (default BFS).
+	Order Order
+	// Seed seeds the RDFS shuffling.
+	Seed int64
+	// MaxStates truncates the exploration after storing this many states;
+	// 0 means unlimited. A truncated run turns exact answers into bounds,
+	// exactly as the paper's depth-first "structured testing" mode does.
+	MaxStates int
+	// StopAtDeadlock ends the exploration at the first deadlocked state
+	// (no action successor from the state or any of its delay successors),
+	// recording a trace to it.
+	StopAtDeadlock bool
+	// Workers > 1 runs queries that do not need traces (SupClock) on the
+	// parallel explorer with that many goroutines.
+	Workers int
+}
+
+// Stats reports exploration effort.
+type Stats struct {
+	// Stored counts unique (non-subsumed) symbolic states.
+	Stored int
+	// Popped counts states taken from the waiting list and expanded.
+	Popped int
+	// Transitions counts generated successor states, including subsumed ones.
+	Transitions int
+	// Deadlocks counts explored states without any action successor.
+	Deadlocks int
+	// Truncated reports whether MaxStates stopped the exploration early.
+	Truncated bool
+	// Duration is the wall-clock exploration time.
+	Duration time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("stored=%d popped=%d transitions=%d truncated=%v in %v",
+		s.Stored, s.Popped, s.Transitions, s.Truncated, s.Duration.Round(time.Millisecond))
+}
+
+// Checker runs symbolic analyses over one finalized network.
+type Checker struct {
+	net *ta.Network
+	eng *engine
+}
+
+// NewChecker returns a checker for a finalized network.
+func NewChecker(net *ta.Network) (*Checker, error) {
+	eng, err := newEngine(net)
+	if err != nil {
+		return nil, err
+	}
+	return &Checker{net: net, eng: eng}, nil
+}
+
+// Network returns the analyzed network.
+func (c *Checker) Network() *ta.Network { return c.net }
+
+// SetCoarseExtrapolation switches the explorer to the Extra_LU abstraction.
+// LU preserves location reachability (safety/deadlock checking) with fewer
+// symbolic states, but clock suprema computed under it are upper bounds
+// rather than exact values — do not combine with SupClock when exactness
+// matters. See the engine documentation for the mechanism.
+func (c *Checker) SetCoarseExtrapolation(coarse bool) { c.eng.extraLU = coarse }
+
+// node is an arena entry carrying parent links for trace reconstruction.
+type node struct {
+	state  *State
+	parent int
+	label  Label
+}
+
+// ExploreResult is the outcome of a reachability exploration.
+type ExploreResult struct {
+	Stats
+	// Found reports whether the visitor stopped the search.
+	Found bool
+	// FoundState is the state the visitor stopped at.
+	FoundState *State
+	// Trace is the path from the initial state to FoundState.
+	Trace []TraceStep
+	// DeadlockTrace leads to the first deadlocked state when
+	// Options.StopAtDeadlock is set and one was found.
+	DeadlockTrace []TraceStep
+}
+
+// Explore performs symbolic reachability from the initial state. The visitor
+// is invoked once for every newly stored (non-subsumed) state, including the
+// initial one; returning true stops the search with Found set and a trace to
+// the state. A nil visitor explores the full reachable zone graph.
+func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult, error) {
+	start := time.Now()
+	var res ExploreResult
+	var rng *rand.Rand
+	if opts.Order == RDFS {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+
+	init, err := c.eng.initial()
+	if err != nil {
+		return res, err
+	}
+	passed := newStore()
+	passed.Add(init)
+	res.Stored = 1
+
+	arena := []node{{state: init, parent: -1}}
+	waiting := []int{0}
+
+	finish := func() ExploreResult {
+		res.Duration = time.Since(start)
+		return res
+	}
+	if visit != nil && visit(init) {
+		res.Found = true
+		res.FoundState = init
+		res.Trace = buildTrace(arena, 0)
+		return finish(), nil
+	}
+
+	var succs []succ
+	for len(waiting) > 0 {
+		var idx int
+		if opts.Order == BFS {
+			idx = waiting[0]
+			waiting = waiting[1:]
+		} else {
+			idx = waiting[len(waiting)-1]
+			waiting = waiting[:len(waiting)-1]
+		}
+		res.Popped++
+		cur := arena[idx]
+
+		succs, err = c.eng.successors(cur.state, succs[:0])
+		if err != nil {
+			return finish(), err
+		}
+		if len(succs) == 0 {
+			res.Deadlocks++
+			if opts.StopAtDeadlock {
+				res.DeadlockTrace = buildTrace(arena, idx)
+				return finish(), nil
+			}
+		}
+		if rng != nil {
+			rng.Shuffle(len(succs), func(i, j int) { succs[i], succs[j] = succs[j], succs[i] })
+		}
+		for _, sc := range succs {
+			res.Transitions++
+			if !passed.Add(sc.state) {
+				continue
+			}
+			res.Stored++
+			arena = append(arena, node{state: sc.state, parent: idx, label: sc.label})
+			ni := len(arena) - 1
+			if visit != nil && visit(sc.state) {
+				res.Found = true
+				res.FoundState = sc.state
+				res.Trace = buildTrace(arena, ni)
+				return finish(), nil
+			}
+			waiting = append(waiting, ni)
+			if opts.MaxStates > 0 && res.Stored >= opts.MaxStates {
+				res.Truncated = true
+				return finish(), nil
+			}
+		}
+	}
+	return finish(), nil
+}
+
+// buildTrace walks parent links from arena index i back to the root.
+func buildTrace(arena []node, i int) []TraceStep {
+	var rev []TraceStep
+	for ; i >= 0; i = arena[i].parent {
+		rev = append(rev, TraceStep{Label: arena[i].label, State: arena[i].state})
+	}
+	out := make([]TraceStep, 0, len(rev))
+	for k := len(rev) - 1; k >= 0; k-- {
+		out = append(out, rev[k])
+	}
+	return out
+}

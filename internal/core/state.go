@@ -1,0 +1,177 @@
+// Package core implements the paper's analysis engine: a zone-based symbolic
+// model checker for the networks of timed automata defined in internal/ta,
+// in the style of UPPAAL.
+//
+// It provides symbolic reachability with configurable search order
+// (breadth-first, depth-first, randomized depth-first), a passed-state store
+// with zone-inclusion subsumption, maximal-constant extrapolation, safety
+// checking of properties of the form AG p with counterexample traces, and
+// worst-case response time computation both as a single-pass clock supremum
+// and via the paper's binary-search strategy over AG(seen → y < C)
+// (Property 1).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// State is a symbolic state of the network: one location per process, a
+// valuation of the integer variables, and a canonical zone over the clocks.
+// Stored states are closed under delay (whenever delay is permitted) and
+// extrapolated.
+type State struct {
+	Locs []ta.LocID
+	Vars []int64
+	Zone *dbm.DBM
+}
+
+// LocOf returns the current location of process p.
+func (s *State) LocOf(p ta.ProcID) ta.LocID { return s.Locs[p] }
+
+// discreteHash hashes the discrete part (locations and variables) of a state.
+func discreteHash(locs []ta.LocID, vars []int64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	for _, l := range locs {
+		mix(uint64(l))
+	}
+	mix(0xabcdef)
+	for _, v := range vars {
+		mix(uint64(v))
+	}
+	return h
+}
+
+func discreteEqual(aLocs, bLocs []ta.LocID, aVars, bVars []int64) bool {
+	for i := range aLocs {
+		if aLocs[i] != bLocs[i] {
+			return false
+		}
+	}
+	for i := range aVars {
+		if aVars[i] != bVars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the state compactly: locations, the non-zero variables,
+// and each clock's value interval (instead of the full DBM).
+func (s *State) Format(net *ta.Network) string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	for i, p := range net.Procs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s.%s", p.Name, p.Locations[s.Locs[i]].Name)
+	}
+	sb.WriteString(")")
+	first := true
+	for i, d := range net.Vars {
+		if s.Vars[i] == d.Init {
+			continue
+		}
+		if first {
+			sb.WriteString(" [")
+			first = false
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", d.Name, s.Vars[i])
+	}
+	if !first {
+		sb.WriteString("]")
+	}
+	sb.WriteString(" {")
+	for c := 1; c < s.Zone.Dim(); c++ {
+		if c > 1 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s∈[%s,%s]", net.Clocks[c].Name,
+			boundStr(s.Zone.Inf(c)), boundStr(s.Zone.Sup(c)))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func boundStr(b dbm.Bound) string {
+	if b == dbm.Infinity {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", b.Value())
+}
+
+// FormatVerbose renders the state with the full zone constraint system.
+func (s *State) FormatVerbose(net *ta.Network) string {
+	return s.Format(net) + " " + s.Zone.String()
+}
+
+// Label identifies the transition that produced a state, for trace printing.
+type Label struct {
+	// Kind describes the synchronization: "tau", "sync", or "broadcast".
+	Kind string
+	// Chan is the channel name for sync/broadcast labels.
+	Chan string
+	// Parts lists the participating processes and the edges they took, in
+	// firing order (emitter first).
+	Parts []LabelPart
+}
+
+// LabelPart is one process's participation in a transition.
+type LabelPart struct {
+	Proc ta.ProcID
+	Edge int // index into the process's Edges
+}
+
+// Format renders the label with names resolved against the network.
+func (l Label) Format(net *ta.Network) string {
+	if l.Kind == "" {
+		return "init"
+	}
+	var sb strings.Builder
+	if l.Chan != "" {
+		fmt.Fprintf(&sb, "%s(%s):", l.Kind, l.Chan)
+	} else {
+		sb.WriteString(l.Kind + ":")
+	}
+	for i, part := range l.Parts {
+		if i > 0 {
+			sb.WriteString(" +")
+		}
+		p := net.Procs[part.Proc]
+		e := p.Edges[part.Edge]
+		fmt.Fprintf(&sb, " %s.%s->%s", p.Name,
+			p.Locations[e.Src].Name, p.Locations[e.Dst].Name)
+	}
+	return sb.String()
+}
+
+// TraceStep is one step of a counterexample or witness trace.
+type TraceStep struct {
+	Label Label
+	State *State
+}
+
+// FormatTrace renders a trace with one step per line.
+func FormatTrace(net *ta.Network, trace []TraceStep) string {
+	var sb strings.Builder
+	for i, step := range trace {
+		fmt.Fprintf(&sb, "%3d %-40s %s\n", i, step.Label.Format(net), step.State.Format(net))
+	}
+	return sb.String()
+}

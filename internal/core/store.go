@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// store is the passed-state list: per discrete state (location vector plus
+// variable valuation) it keeps a list of maximal zones. A new state is
+// admitted only when its zone is not included in any stored zone; on
+// admission, stored zones included in the new one are pruned. This is the
+// standard inclusion-checking subsumption that makes zone-graph exploration
+// terminate.
+type store struct {
+	buckets map[uint64][]*storeEntry
+	zones   int
+}
+
+type storeEntry struct {
+	locs  []ta.LocID
+	vars  []int64
+	zones []*dbm.DBM
+}
+
+func newStore() *store {
+	return &store{buckets: make(map[uint64][]*storeEntry)}
+}
+
+// Add inserts the state unless it is subsumed, reporting whether it is new.
+func (st *store) Add(s *State) bool {
+	h := discreteHash(s.Locs, s.Vars)
+	bucket := st.buckets[h]
+	var entry *storeEntry
+	for _, e := range bucket {
+		if len(e.locs) == len(s.Locs) && len(e.vars) == len(s.Vars) &&
+			discreteEqual(e.locs, s.Locs, e.vars, s.Vars) {
+			entry = e
+			break
+		}
+	}
+	if entry == nil {
+		entry = &storeEntry{locs: s.Locs, vars: s.Vars}
+		st.buckets[h] = append(st.buckets[h], entry)
+	}
+	// First pass: pure subsumption check, no mutation.
+	for _, z := range entry.zones {
+		if s.Zone.SubsetEq(z) {
+			return false
+		}
+	}
+	// Second pass: prune stored zones covered by the new one.
+	keep := entry.zones[:0]
+	for _, z := range entry.zones {
+		if !z.SubsetEq(s.Zone) {
+			keep = append(keep, z)
+		} else {
+			st.zones--
+		}
+	}
+	entry.zones = append(keep, s.Zone)
+	st.zones++
+	return true
+}
+
+// Len returns the number of stored maximal zones.
+func (st *store) Len() int { return st.zones }

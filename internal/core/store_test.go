@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+func mkState(locs []ta.LocID, vars []int64, hi int64) *State {
+	z := dbm.New(2)
+	z.Up()
+	z.Constrain(1, 0, dbm.LE(hi))
+	return &State{Locs: locs, Vars: vars, Zone: z}
+}
+
+func TestStoreSubsumption(t *testing.T) {
+	st := newStore()
+	locs := []ta.LocID{0}
+	vars := []int64{0}
+	if !st.Add(mkState(locs, vars, 10)) {
+		t.Fatal("first state must be new")
+	}
+	if st.Add(mkState(locs, vars, 5)) {
+		t.Error("included zone must be subsumed")
+	}
+	if st.Len() != 1 {
+		t.Errorf("store length = %d, want 1", st.Len())
+	}
+	if !st.Add(mkState(locs, vars, 20)) {
+		t.Error("larger zone must be admitted")
+	}
+	// The larger zone covers the earlier one, which must have been pruned.
+	if st.Len() != 1 {
+		t.Errorf("store length after covering add = %d, want 1 (pruned)", st.Len())
+	}
+}
+
+func TestStoreDistinguishesDiscreteParts(t *testing.T) {
+	st := newStore()
+	if !st.Add(mkState([]ta.LocID{0}, []int64{0}, 10)) ||
+		!st.Add(mkState([]ta.LocID{1}, []int64{0}, 10)) ||
+		!st.Add(mkState([]ta.LocID{0}, []int64{1}, 10)) {
+		t.Fatal("distinct discrete parts must all be admitted")
+	}
+	if st.Len() != 3 {
+		t.Errorf("store length = %d, want 3", st.Len())
+	}
+}
+
+func TestStoreIncomparableZonesCoexist(t *testing.T) {
+	st := newStore()
+	locs := []ta.LocID{0}
+	vars := []int64{0}
+	// x <= 10 and x >= 5 (upper bound infinity) are incomparable.
+	a := mkState(locs, vars, 10)
+	b := &State{Locs: locs, Vars: vars, Zone: dbm.Universe(2)}
+	b.Zone.Constrain(0, 1, dbm.LE(-5))
+	if !st.Add(a) || !st.Add(b) {
+		t.Fatal("incomparable zones must both be admitted")
+	}
+	if st.Len() != 2 {
+		t.Errorf("store length = %d, want 2", st.Len())
+	}
+}
+
+func TestPStoreMatchesStore(t *testing.T) {
+	seq := newStore()
+	par := newPStore()
+	states := []*State{
+		mkState([]ta.LocID{0}, []int64{0}, 10),
+		mkState([]ta.LocID{0}, []int64{0}, 5),
+		mkState([]ta.LocID{0}, []int64{0}, 20),
+		mkState([]ta.LocID{1}, []int64{0}, 7),
+		mkState([]ta.LocID{1}, []int64{0}, 7),
+	}
+	for i, s := range states {
+		a := seq.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
+		b := par.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
+		if a != b {
+			t.Errorf("state %d: sequential Add=%v parallel Add=%v", i, a, b)
+		}
+	}
+	if int64(seq.Len()) != par.zones.Load() {
+		t.Errorf("zone counts differ: %d vs %d", seq.Len(), par.zones.Load())
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// engine computes symbolic initial states and successors following UPPAAL
+// semantics: delay closure subject to invariants, urgency (urgent locations,
+// urgent channels), committed locations, binary and broadcast
+// synchronization, and maximal-constant extrapolation.
+type engine struct {
+	net *ta.Network
+	dim int
+	// extraLU switches to the coarser Extra_LU abstraction. It is sound
+	// for location reachability but NOT for exact clock suprema: dropping
+	// the matrix rows of clocks that only appear in lower-bound guards
+	// (U = 0) forgets inter-clock orderings and can inflate a measured
+	// clock's upper bound (see TestExtraLUInflatesSuprema). The engine
+	// therefore defaults to Extra_M; LU is exposed for pure reachability
+	// workloads via Checker.SetCoarseExtrapolation.
+	extraLU bool
+}
+
+func newEngine(net *ta.Network) (*engine, error) {
+	if !net.Finalized() {
+		return nil, fmt.Errorf("core: network %s must be finalized before analysis", net.Name)
+	}
+	return &engine{net: net, dim: net.NumClocks()}, nil
+}
+
+// initial computes the initial symbolic state: all processes in their initial
+// locations, variables at initial values, all clocks zero, then delay-closed
+// and extrapolated.
+func (e *engine) initial() (*State, error) {
+	locs := make([]ta.LocID, len(e.net.Procs))
+	for i, p := range e.net.Procs {
+		locs[i] = p.Init
+	}
+	vars := e.net.InitialVars()
+	z := dbm.New(e.dim)
+	if !e.applyInvariants(z, locs, vars) {
+		return nil, fmt.Errorf("core: initial state violates an invariant")
+	}
+	return e.close(z, locs, vars), nil
+}
+
+// succ is one symbolic successor together with the transition that
+// produced it.
+type succ struct {
+	label Label
+	state *State
+}
+
+// successors appends every symbolic action successor of s to out. Delay is
+// folded into stored states, so no explicit delay successors are produced.
+func (e *engine) successors(s *State, out []succ) ([]succ, error) {
+	anyCommitted := false
+	for pi, l := range s.Locs {
+		if e.net.Procs[pi].Locations[l].Kind == ta.Committed {
+			anyCommitted = true
+			break
+		}
+	}
+	// committedOK implements the committed-location rule: when any process
+	// is committed, only transitions involving a committed process may fire.
+	committedOK := func(parts []LabelPart) bool {
+		if !anyCommitted {
+			return true
+		}
+		for _, pt := range parts {
+			if e.net.Procs[pt.Proc].Locations[s.Locs[pt.Proc]].Kind == ta.Committed {
+				return true
+			}
+		}
+		return false
+	}
+
+	var err error
+	try := func(label Label) {
+		if err != nil || !committedOK(label.Parts) {
+			return
+		}
+		var ns *State
+		ns, err = e.fire(s, label)
+		if err == nil && ns != nil {
+			out = append(out, succ{label, ns})
+		}
+	}
+
+	// Internal (tau) transitions.
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(s.Locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir != ta.Tau || !ta.EvalGuard(ed.Guard, s.Vars) {
+				continue
+			}
+			try(Label{Kind: "tau", Parts: []LabelPart{{ta.ProcID(pi), ei}}})
+		}
+	}
+
+	// Synchronizations, channel by channel.
+	for ci := range e.net.Chans {
+		ch := &e.net.Chans[ci]
+		emitters, receivers := e.enabledSyncEdges(s, ta.ChanID(ci))
+		if len(emitters) == 0 {
+			continue
+		}
+		if ch.Kind.IsBroadcast() {
+			for _, em := range emitters {
+				e.broadcastCombos(s, ch, em, receivers, try)
+			}
+		} else {
+			for _, em := range emitters {
+				for _, rc := range receivers {
+					if rc.Proc == em.Proc {
+						continue
+					}
+					try(Label{Kind: "sync", Chan: ch.Name,
+						Parts: []LabelPart{em, rc}})
+				}
+			}
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, err
+}
+
+// enabledSyncEdges collects the data-guard-enabled emit and receive edges on
+// channel c in the current discrete state.
+func (e *engine) enabledSyncEdges(s *State, c ta.ChanID) (emitters, receivers []LabelPart) {
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(s.Locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir == ta.Tau || ed.Sync.Chan != c {
+				continue
+			}
+			if !ta.EvalGuard(ed.Guard, s.Vars) {
+				continue
+			}
+			part := LabelPart{ta.ProcID(pi), ei}
+			if ed.Sync.Dir == ta.Emit {
+				emitters = append(emitters, part)
+			} else {
+				receivers = append(receivers, part)
+			}
+		}
+	}
+	return emitters, receivers
+}
+
+// broadcastCombos enumerates the maximal-participation broadcast
+// transitions for one emitter: every process with at least one enabled
+// receive edge participates with exactly one of them; processes without
+// enabled receive edges are skipped.
+func (e *engine) broadcastCombos(s *State, ch *ta.Channel, em LabelPart,
+	receivers []LabelPart, try func(Label)) {
+	// Group enabled receive edges by process, excluding the emitter.
+	perProc := make(map[ta.ProcID][]LabelPart)
+	var order []ta.ProcID
+	for _, rc := range receivers {
+		if rc.Proc == em.Proc {
+			continue
+		}
+		if _, seen := perProc[rc.Proc]; !seen {
+			order = append(order, rc.Proc)
+		}
+		perProc[rc.Proc] = append(perProc[rc.Proc], rc)
+	}
+	parts := make([]LabelPart, 0, len(order)+1)
+	parts = append(parts, em)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			label := Label{Kind: "broadcast", Chan: ch.Name,
+				Parts: append([]LabelPart(nil), parts...)}
+			try(label)
+			return
+		}
+		for _, rc := range perProc[order[i]] {
+			parts = append(parts, rc)
+			rec(i + 1)
+			parts = parts[:len(parts)-1]
+		}
+	}
+	rec(0)
+}
+
+// fire executes one transition symbolically. It returns (nil, nil) when the
+// transition is clock-disabled or leads to an invariant-violating state.
+func (e *engine) fire(s *State, label Label) (*State, error) {
+	z := s.Zone.Copy()
+	for _, pt := range label.Parts {
+		ed := &e.net.Procs[pt.Proc].Edges[pt.Edge]
+		// Clock guards are evaluated against the pre-transition valuation.
+		if !ta.ApplyConstraints(z, ed.ClockGuard, s.Vars) {
+			return nil, nil
+		}
+	}
+	vars := append([]int64(nil), s.Vars...)
+	for _, pt := range label.Parts {
+		ta.ApplyUpdate(e.net.Procs[pt.Proc].Edges[pt.Edge].Update, vars)
+	}
+	if err := e.net.CheckVarBounds(vars); err != nil {
+		return nil, fmt.Errorf("core: on transition %s: %w", label.Format(e.net), err)
+	}
+	locs := append([]ta.LocID(nil), s.Locs...)
+	for _, pt := range label.Parts {
+		ed := &e.net.Procs[pt.Proc].Edges[pt.Edge]
+		locs[pt.Proc] = ed.Dst
+		for _, c := range ed.Frees {
+			z.Free(int(c))
+		}
+		for _, r := range ed.Resets {
+			z.Reset(int(r.Clock), r.Value)
+		}
+	}
+	if !e.applyInvariants(z, locs, vars) {
+		return nil, nil
+	}
+	return e.close(z, locs, vars), nil
+}
+
+// close applies the delay closure (when permitted by urgency), re-applies
+// invariants, and extrapolates — producing the canonical stored form of a
+// symbolic state.
+func (e *engine) close(z *dbm.DBM, locs []ta.LocID, vars []int64) *State {
+	if e.delayAllowed(locs, vars) {
+		z.Up()
+		// Invariants held before the delay and only constrain from above, so
+		// this intersection cannot empty the zone.
+		e.applyInvariants(z, locs, vars)
+	}
+	if e.extraLU {
+		z.ExtraLU(e.net.LowerConsts, e.net.UpperConsts)
+	} else {
+		z.ExtraM(e.net.MaxConsts)
+	}
+	return &State{Locs: locs, Vars: vars, Zone: z}
+}
+
+// delayAllowed implements the urgency rule: no delay while any process is in
+// an urgent or committed location, or any urgent-channel synchronization is
+// enabled (data-guard-wise; urgent edges carry no clock guards by
+// validation).
+func (e *engine) delayAllowed(locs []ta.LocID, vars []int64) bool {
+	for pi, l := range locs {
+		if k := e.net.Procs[pi].Locations[l].Kind; k == ta.UrgentLoc || k == ta.Committed {
+			return false
+		}
+	}
+	for ci := range e.net.Chans {
+		ch := &e.net.Chans[ci]
+		if !ch.Kind.Urgent() {
+			continue
+		}
+		if ch.Kind == ta.BroadcastUrgent {
+			// A broadcast sender never blocks: any enabled emitter forbids
+			// delay.
+			if e.broadcastEmitEnabled(locs, vars, ta.ChanID(ci)) {
+				return false
+			}
+		} else if e.binaryPairEnabled(locs, vars, ta.ChanID(ci)) {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastEmitEnabled reports whether any emit edge on channel c is
+// data-guard-enabled in the given discrete state.
+func (e *engine) broadcastEmitEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir == ta.Emit && ed.Sync.Chan == c && ta.EvalGuard(ed.Guard, vars) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// binaryPairEnabled reports whether some emit and receive edge on channel c
+// are simultaneously enabled in distinct processes.
+func (e *engine) binaryPairEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
+	var emitProcs, recvProcs []ta.ProcID
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir == ta.Tau || ed.Sync.Chan != c || !ta.EvalGuard(ed.Guard, vars) {
+				continue
+			}
+			if ed.Sync.Dir == ta.Emit {
+				emitProcs = append(emitProcs, ta.ProcID(pi))
+			} else {
+				recvProcs = append(recvProcs, ta.ProcID(pi))
+			}
+		}
+	}
+	for _, ep := range emitProcs {
+		for _, rp := range recvProcs {
+			if ep != rp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyInvariants intersects z with the invariant of every current location
+// under the given variable valuation, reporting nonemptiness.
+func (e *engine) applyInvariants(z *dbm.DBM, locs []ta.LocID, vars []int64) bool {
+	for pi, l := range locs {
+		if !ta.ApplyConstraints(z, e.net.Procs[pi].Locations[l].Invariant, vars) {
+			return false
+		}
+	}
+	return true
+}

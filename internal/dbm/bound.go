@@ -1,0 +1,95 @@
+// Package dbm implements difference bound matrices (DBMs), the canonical
+// symbolic representation of clock zones used by UPPAAL-style timed-automata
+// model checkers.
+//
+// A zone is a conjunction of constraints of the form xi - xj ≺ c with
+// ≺ ∈ {<, ≤} over a set of clocks x1..xn plus the reference clock x0 which is
+// always exactly 0. A DBM stores one bound per ordered clock pair in a dense
+// (n+1)×(n+1) matrix. All algorithms follow the classical presentation in
+// Bengtsson & Yi, "Timed Automata: Semantics, Algorithms and Tools".
+package dbm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bound is a single difference bound (c, ≺) encoded in one int64 so that the
+// natural integer order coincides with bound tightness:
+//
+//	encode(c, <)  = 2c
+//	encode(c, ≤)  = 2c + 1
+//
+// Hence (<, c) is strictly tighter than (≤, c) which is tighter than (<, c+1),
+// and comparing encoded values compares bounds. Infinity is a distinguished
+// maximal value.
+type Bound int64
+
+// Infinity is the absent constraint xi - xj < ∞.
+const Infinity Bound = math.MaxInt64
+
+// LEZero is the bound (≤, 0), the diagonal value of every canonical DBM.
+const LEZero Bound = 1
+
+// LTZero is the bound (<, 0); a diagonal entry below LEZero signals emptiness.
+const LTZero Bound = 0
+
+// MakeBound encodes the bound (value ≺) where weak selects ≤ (true) or < (false).
+func MakeBound(value int64, weak bool) Bound {
+	if weak {
+		return Bound(value<<1 | 1)
+	}
+	return Bound(value << 1)
+}
+
+// LE returns the non-strict bound (≤, value).
+func LE(value int64) Bound { return MakeBound(value, true) }
+
+// LT returns the strict bound (<, value).
+func LT(value int64) Bound { return MakeBound(value, false) }
+
+// Value returns the numeric constant of the bound. It must not be called on
+// Infinity.
+func (b Bound) Value() int64 { return int64(b) >> 1 }
+
+// Weak reports whether the bound is non-strict (≤).
+func (b Bound) Weak() bool { return b != Infinity && b&1 == 1 }
+
+// Strict reports whether the bound is strict (<).
+func (b Bound) Strict() bool { return b == Infinity || b&1 == 0 }
+
+// Add combines two bounds along a path: (c1,≺1) + (c2,≺2) = (c1+c2, ≺) where
+// ≺ is ≤ only if both inputs are ≤. Adding anything to Infinity is Infinity.
+func Add(a, b Bound) Bound {
+	if a == Infinity || b == Infinity {
+		return Infinity
+	}
+	// Sum the payloads and keep the conjunction of the weak bits.
+	return a + b - ((a | b) & 1)
+}
+
+// Min returns the tighter of two bounds.
+func Min(a, b Bound) Bound {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Negate returns the exclusive complement of a bound: the tightest bound on
+// xj - xi that contradicts (c, ≺) on xi - xj. Negate(≤ c) = (< -c) and
+// Negate(< c) = (≤ -c). Negate must not be called on Infinity.
+func Negate(b Bound) Bound {
+	return MakeBound(-b.Value(), b.Strict())
+}
+
+// String renders the bound as "<c", "<=c" or "inf".
+func (b Bound) String() string {
+	if b == Infinity {
+		return "inf"
+	}
+	if b.Weak() {
+		return fmt.Sprintf("<=%d", b.Value())
+	}
+	return fmt.Sprintf("<%d", b.Value())
+}

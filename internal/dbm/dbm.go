@@ -1,0 +1,383 @@
+package dbm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DBM is a difference bound matrix over dim clocks, where clock 0 is the
+// reference clock (always exactly zero). Entry (i, j) bounds xi - xj.
+//
+// Most operations require the DBM to be in canonical (closed) form, i.e. all
+// bounds are the tightest implied by the constraint graph. Constructors and
+// all mutating methods documented below preserve canonical form unless stated
+// otherwise.
+type DBM struct {
+	dim int
+	m   []Bound // row-major, len dim*dim
+}
+
+// New returns the zone in which every clock equals zero (the initial zone of
+// a timed automaton). The result is canonical.
+func New(dim int) *DBM {
+	if dim < 1 {
+		panic("dbm: dimension must include the reference clock")
+	}
+	d := &DBM{dim: dim, m: make([]Bound, dim*dim)}
+	for i := range d.m {
+		d.m[i] = LEZero
+	}
+	return d
+}
+
+// Universe returns the zone containing every valuation with all clocks ≥ 0.
+// The result is canonical.
+func Universe(dim int) *DBM {
+	d := New(dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			switch {
+			case i == j:
+				d.set(i, j, LEZero)
+			case i == 0:
+				d.set(i, j, LEZero) // 0 - xj ≤ 0, i.e. xj ≥ 0
+			default:
+				d.set(i, j, Infinity)
+			}
+		}
+	}
+	return d
+}
+
+// Dim returns the number of clocks including the reference clock.
+func (d *DBM) Dim() int { return d.dim }
+
+// At returns the bound on xi - xj.
+func (d *DBM) At(i, j int) Bound { return d.m[i*d.dim+j] }
+
+func (d *DBM) set(i, j int, b Bound) { d.m[i*d.dim+j] = b }
+
+// Copy returns a deep copy of the DBM.
+func (d *DBM) Copy() *DBM {
+	c := &DBM{dim: d.dim, m: make([]Bound, len(d.m))}
+	copy(c.m, d.m)
+	return c
+}
+
+// IsEmpty reports whether the zone contains no valuation. On a canonical DBM
+// emptiness shows up as a diagonal entry below (≤, 0).
+func (d *DBM) IsEmpty() bool {
+	for i := 0; i < d.dim; i++ {
+		if d.At(i, i) < LEZero {
+			return true
+		}
+	}
+	return false
+}
+
+// Close recomputes the canonical form with Floyd–Warshall shortest paths.
+// It returns false if the zone turned out to be empty (in which case the
+// contents are unspecified).
+func (d *DBM) Close() bool {
+	n := d.dim
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.At(i, k)
+			if dik == Infinity {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := Add(dik, d.At(k, j)); v < d.At(i, j) {
+					d.set(i, j, v)
+				}
+			}
+		}
+		if d.At(k, k) < LEZero {
+			return false
+		}
+	}
+	return !d.IsEmpty()
+}
+
+// closeSingle restores canonical form after only the bounds involving clock c
+// were tightened. This is the standard O(n²) incremental closure.
+func (d *DBM) closeSingle(c int) bool {
+	n := d.dim
+	for i := 0; i < n; i++ {
+		dic := d.At(i, c)
+		if dic == Infinity {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if v := Add(dic, d.At(c, j)); v < d.At(i, j) {
+				d.set(i, j, v)
+			}
+		}
+	}
+	return !d.IsEmpty()
+}
+
+// Constrain intersects the zone with the constraint xi - xj ≺ c given as a
+// Bound, restoring canonical form. It reports whether the result is nonempty.
+func (d *DBM) Constrain(i, j int, b Bound) bool {
+	if b == Infinity || b >= d.At(i, j) {
+		return !d.IsEmpty()
+	}
+	// The new bound contradicts the reverse path: emptiness check first.
+	if Add(d.At(j, i), b) < LEZero {
+		d.set(i, i, Add(d.At(j, i), b)) // mark empty on the diagonal
+		return false
+	}
+	d.set(i, j, b)
+	// Tighten all paths through the updated edge i -> j.
+	n := d.dim
+	for p := 0; p < n; p++ {
+		dpi := d.At(p, i)
+		if dpi == Infinity {
+			continue
+		}
+		via := Add(dpi, b)
+		for q := 0; q < n; q++ {
+			if v := Add(via, d.At(j, q)); v < d.At(p, q) {
+				d.set(p, q, v)
+			}
+		}
+	}
+	return !d.IsEmpty()
+}
+
+// Up removes all upper bounds on clocks, computing the set of time successors
+// (delay). Canonical form is preserved.
+func (d *DBM) Up() {
+	for i := 1; i < d.dim; i++ {
+		d.set(i, 0, Infinity)
+	}
+}
+
+// Down computes the set of time predecessors: lower bounds are relaxed to the
+// tightest diagonal constraint, keeping clocks nonnegative. Canonical form is
+// preserved.
+func (d *DBM) Down() {
+	for j := 1; j < d.dim; j++ {
+		lo := LEZero
+		for i := 1; i < d.dim; i++ {
+			if d.At(i, j) < lo {
+				lo = d.At(i, j)
+			}
+		}
+		d.set(0, j, lo)
+	}
+}
+
+// Free removes all constraints on clock c, making its value arbitrary
+// (nonnegative). Canonical form is preserved.
+func (d *DBM) Free(c int) {
+	for i := 0; i < d.dim; i++ {
+		if i != c {
+			d.set(c, i, Infinity)
+			d.set(i, c, d.At(i, 0))
+		}
+	}
+	d.set(c, 0, Infinity)
+	d.set(0, c, LEZero)
+}
+
+// Reset sets clock c to the constant v ≥ 0. Canonical form is preserved.
+func (d *DBM) Reset(c int, v int64) {
+	le := LE(v)
+	nle := LE(-v)
+	for i := 0; i < d.dim; i++ {
+		if i == c {
+			continue
+		}
+		d.set(c, i, Add(le, d.At(0, i)))
+		d.set(i, c, Add(d.At(i, 0), nle))
+	}
+	d.set(c, c, LEZero)
+}
+
+// CopyClock assigns clock dst the current value of clock src (dst := src).
+// Canonical form is preserved.
+func (d *DBM) CopyClock(dst, src int) {
+	if dst == src {
+		return
+	}
+	for i := 0; i < d.dim; i++ {
+		if i != dst {
+			d.set(dst, i, d.At(src, i))
+			d.set(i, dst, d.At(i, src))
+		}
+	}
+	d.set(dst, src, LEZero)
+	d.set(src, dst, LEZero)
+	d.set(dst, dst, LEZero)
+}
+
+// Relation describes how two zones compare under set inclusion.
+type Relation int
+
+const (
+	// Different means neither zone includes the other.
+	Different Relation = iota
+	// Subset means the receiver is strictly included in the argument.
+	Subset
+	// Superset means the receiver strictly includes the argument.
+	Superset
+	// Equal means both zones contain exactly the same valuations.
+	Equal
+)
+
+// Rel compares two canonical DBMs of equal dimension under set inclusion.
+func (d *DBM) Rel(o *DBM) Relation {
+	sub, sup := true, true
+	for i := range d.m {
+		if d.m[i] > o.m[i] {
+			sub = false
+		}
+		if d.m[i] < o.m[i] {
+			sup = false
+		}
+		if !sub && !sup {
+			return Different
+		}
+	}
+	switch {
+	case sub && sup:
+		return Equal
+	case sub:
+		return Subset
+	default:
+		return Superset
+	}
+}
+
+// SubsetEq reports whether every valuation of d is contained in o. Both DBMs
+// must be canonical and of equal dimension.
+func (d *DBM) SubsetEq(o *DBM) bool {
+	for i := range d.m {
+		if d.m[i] > o.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports whether two canonical DBMs denote the same zone.
+func (d *DBM) Eq(o *DBM) bool {
+	if d.dim != o.dim {
+		return false
+	}
+	for i := range d.m {
+		if d.m[i] != o.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect constrains d with every bound of o, i.e. computes the zone
+// intersection. It reports whether the result is nonempty. The result is
+// canonical.
+func (d *DBM) Intersect(o *DBM) bool {
+	if d.dim != o.dim {
+		panic("dbm: dimension mismatch in Intersect")
+	}
+	changed := false
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			if o.At(i, j) < d.At(i, j) {
+				d.set(i, j, o.At(i, j))
+				changed = true
+			}
+		}
+	}
+	if changed {
+		return d.Close()
+	}
+	return !d.IsEmpty()
+}
+
+// Contains reports whether the concrete valuation v (indexed by clock, with
+// v[0] ignored and treated as 0) satisfies every constraint of the zone.
+func (d *DBM) Contains(v []int64) bool {
+	if len(v) < d.dim {
+		panic("dbm: valuation too short")
+	}
+	val := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return v[i]
+	}
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			b := d.At(i, j)
+			if b == Infinity {
+				continue
+			}
+			diff := val(i) - val(j)
+			if b.Weak() {
+				if diff > b.Value() {
+					return false
+				}
+			} else if diff >= b.Value() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Sup returns the upper bound of clock c in the zone, i.e. the bound on
+// xc - x0. The result may be Infinity.
+func (d *DBM) Sup(c int) Bound { return d.At(c, 0) }
+
+// Inf returns the lower bound of clock c as a nonnegative bound: if the zone
+// implies xc ≥ v (resp. > v) the result is (≤ v) (resp. (< v)) after
+// negation of the stored x0 - xc bound.
+func (d *DBM) Inf(c int) Bound {
+	b := d.At(0, c)
+	if b == Infinity {
+		return Infinity
+	}
+	return MakeBound(-b.Value(), b.Weak())
+}
+
+// Hash returns an FNV-1a style hash of the matrix contents, suitable for
+// keying passed-state stores.
+func (d *DBM) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range d.m {
+		v := uint64(b)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// String renders the DBM constraint by constraint for debugging.
+func (d *DBM) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	first := true
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			if i == j || d.At(i, j) == Infinity {
+				continue
+			}
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&sb, "x%d-x%d%s", i, j, d.At(i, j))
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

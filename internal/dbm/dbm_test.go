@@ -1,0 +1,627 @@
+package dbm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundEncoding(t *testing.T) {
+	cases := []struct {
+		b     Bound
+		value int64
+		weak  bool
+	}{
+		{LE(0), 0, true},
+		{LT(0), 0, false},
+		{LE(5), 5, true},
+		{LT(5), 5, false},
+		{LE(-3), -3, true},
+		{LT(-3), -3, false},
+	}
+	for _, c := range cases {
+		if c.b.Value() != c.value {
+			t.Errorf("%v: Value() = %d, want %d", c.b, c.b.Value(), c.value)
+		}
+		if c.b.Weak() != c.weak {
+			t.Errorf("%v: Weak() = %v, want %v", c.b, c.b.Weak(), c.weak)
+		}
+	}
+}
+
+func TestBoundOrdering(t *testing.T) {
+	// (<, c) tighter than (≤, c) tighter than (<, c+1).
+	if !(LT(3) < LE(3)) {
+		t.Error("LT(3) should be tighter than LE(3)")
+	}
+	if !(LE(3) < LT(4)) {
+		t.Error("LE(3) should be tighter than LT(4)")
+	}
+	if !(LE(3) < Infinity) {
+		t.Error("any finite bound should be tighter than Infinity")
+	}
+}
+
+func TestBoundAdd(t *testing.T) {
+	cases := []struct {
+		a, b, want Bound
+	}{
+		{LE(2), LE(3), LE(5)},
+		{LE(2), LT(3), LT(5)},
+		{LT(2), LE(3), LT(5)},
+		{LT(2), LT(3), LT(5)},
+		{LE(-2), LE(3), LE(1)},
+		{LE(2), Infinity, Infinity},
+		{Infinity, LT(1), Infinity},
+	}
+	for _, c := range cases {
+		if got := Add(c.a, c.b); got != c.want {
+			t.Errorf("Add(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBoundNegate(t *testing.T) {
+	if got := Negate(LE(5)); got != LT(-5) {
+		t.Errorf("Negate(LE(5)) = %v, want LT(-5)", got)
+	}
+	if got := Negate(LT(5)); got != LE(-5) {
+		t.Errorf("Negate(LT(5)) = %v, want LE(-5)", got)
+	}
+}
+
+func TestNewIsZeroZone(t *testing.T) {
+	d := New(4)
+	if d.IsEmpty() {
+		t.Fatal("zero zone must be nonempty")
+	}
+	if !d.Contains([]int64{0, 0, 0, 0}) {
+		t.Error("zero zone must contain the origin")
+	}
+	if d.Contains([]int64{0, 1, 0, 0}) {
+		t.Error("zero zone must not contain nonzero valuations")
+	}
+}
+
+func TestUniverseContainsEverything(t *testing.T) {
+	d := Universe(3)
+	for _, v := range [][]int64{{0, 0, 0}, {0, 5, 2}, {0, 1000, 0}} {
+		if !d.Contains(v) {
+			t.Errorf("universe must contain %v", v)
+		}
+	}
+	if d.Contains([]int64{0, -1, 0}) {
+		t.Error("universe must not contain negative clock values")
+	}
+}
+
+func TestUpDelay(t *testing.T) {
+	d := New(3)
+	d.Up()
+	// After delay from the origin both clocks advance together.
+	if !d.Contains([]int64{0, 7, 7}) {
+		t.Error("delayed zero zone must contain equal-valued points")
+	}
+	if d.Contains([]int64{0, 7, 6}) {
+		t.Error("delayed zero zone must keep clocks equal")
+	}
+}
+
+func TestResetAfterDelay(t *testing.T) {
+	d := New(3)
+	d.Up()
+	d.Reset(1, 0)
+	// Now x1 = 0 and x2 ≥ x1 arbitrary.
+	if !d.Contains([]int64{0, 0, 9}) {
+		t.Error("reset zone should contain x1=0, x2=9")
+	}
+	if d.Contains([]int64{0, 1, 9}) {
+		t.Error("x1 must be exactly 0 after reset")
+	}
+	if d.Contains([]int64{0, 0, -1}) {
+		t.Error("clocks must stay nonnegative")
+	}
+}
+
+func TestResetToConstant(t *testing.T) {
+	d := New(2)
+	d.Up()
+	d.Reset(1, 5)
+	if got := d.Sup(1); got != LE(5) {
+		t.Errorf("Sup after Reset(1,5) = %v, want <=5", got)
+	}
+	if got := d.Inf(1); got != LE(5) {
+		t.Errorf("Inf after Reset(1,5) = %v, want <=5", got)
+	}
+}
+
+func TestConstrainTightens(t *testing.T) {
+	d := New(3)
+	d.Up()
+	if !d.Constrain(1, 0, LE(10)) {
+		t.Fatal("constraining x1<=10 must keep zone nonempty")
+	}
+	if d.Contains([]int64{0, 11, 11}) {
+		t.Error("x1 must be at most 10")
+	}
+	// Because x1 == x2 here, x2 is also bounded after closure.
+	if got := d.Sup(2); got != LE(10) {
+		t.Errorf("Sup(x2) = %v, want <=10 via canonicalization", got)
+	}
+}
+
+func TestConstrainEmpties(t *testing.T) {
+	d := New(2)
+	d.Up()
+	if !d.Constrain(1, 0, LE(5)) {
+		t.Fatal("x1<=5 should be satisfiable")
+	}
+	if d.Constrain(0, 1, LT(-5)) { // x1 > 5
+		t.Fatal("x1<=5 and x1>5 must be empty")
+	}
+	if !d.IsEmpty() {
+		t.Error("IsEmpty must report the contradiction")
+	}
+}
+
+func TestFree(t *testing.T) {
+	d := New(3)
+	d.Up()
+	d.Constrain(1, 0, LE(4))
+	d.Free(2)
+	if !d.Contains([]int64{0, 4, 1000}) {
+		t.Error("freed clock may take any nonnegative value")
+	}
+	if d.Contains([]int64{0, 5, 0}) {
+		t.Error("constraint on x1 must survive freeing x2")
+	}
+}
+
+func TestCopyClock(t *testing.T) {
+	d := New(3)
+	d.Up()
+	d.Constrain(1, 0, LE(8))
+	d.Constrain(0, 1, LE(-8)) // x1 == 8
+	d.CopyClock(2, 1)
+	if got := d.Sup(2); got != LE(8) {
+		t.Errorf("Sup(x2) after copy = %v, want <=8", got)
+	}
+	if !d.Contains([]int64{0, 8, 8}) {
+		t.Error("copied clock must equal source")
+	}
+}
+
+func TestRelation(t *testing.T) {
+	small := New(2)
+	small.Up()
+	small.Constrain(1, 0, LE(5))
+	big := New(2)
+	big.Up()
+	big.Constrain(1, 0, LE(10))
+	if r := small.Rel(big); r != Subset {
+		t.Errorf("small.Rel(big) = %v, want Subset", r)
+	}
+	if r := big.Rel(small); r != Superset {
+		t.Errorf("big.Rel(small) = %v, want Superset", r)
+	}
+	if r := big.Rel(big.Copy()); r != Equal {
+		t.Errorf("self relation = %v, want Equal", r)
+	}
+	other := New(2)
+	other.Up()
+	other.Constrain(0, 1, LE(-7)) // x1 >= 7
+	if r := small.Rel(other); r != Different {
+		t.Errorf("disjointish relation = %v, want Different", r)
+	}
+	if !small.SubsetEq(big) || big.SubsetEq(small) {
+		t.Error("SubsetEq disagrees with Rel")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New(2)
+	a.Up()
+	a.Constrain(1, 0, LE(10))
+	b := New(2)
+	b.Up()
+	b.Constrain(0, 1, LE(-5)) // x1 >= 5
+	if !a.Intersect(b) {
+		t.Fatal("intersection [5,10] must be nonempty")
+	}
+	if a.Sup(1) != LE(10) || a.Inf(1) != LE(5) {
+		t.Errorf("intersection bounds = [%v, %v], want [<=5, <=10]", a.Inf(1), a.Sup(1))
+	}
+
+	c := New(2)
+	c.Up()
+	c.Constrain(1, 0, LT(5)) // x1 < 5
+	if c.Intersect(b) {
+		t.Error("x1<5 ∩ x1>=5 must be empty")
+	}
+}
+
+func TestDown(t *testing.T) {
+	d := New(2)
+	d.Up()
+	d.Constrain(0, 1, LE(-5)) // x1 >= 5
+	d.Constrain(1, 0, LE(10))
+	d.Down()
+	if !d.Contains([]int64{0, 2}) {
+		t.Error("time predecessors of [5,10] must include 2")
+	}
+	if d.Contains([]int64{0, 11}) {
+		t.Error("Down must not add values above the upper bound")
+	}
+}
+
+func TestExtraMDropsLargeBounds(t *testing.T) {
+	d := New(2)
+	d.Up()
+	d.Constrain(1, 0, LE(100))
+	d.Constrain(0, 1, LE(-90)) // 90 <= x1 <= 100
+	d.ExtraM([]int64{0, 10})   // max constant of x1 is 10
+	if d.Sup(1) != Infinity {
+		t.Errorf("upper bound above max must be dropped, got %v", d.Sup(1))
+	}
+	// The lower bound 90 exceeds the max constant 10 and must relax to >10.
+	if got := d.At(0, 1); got != LT(-10) {
+		t.Errorf("lower bound must relax to <-10, got %v", got)
+	}
+}
+
+func TestExtraMKeepsSmallBounds(t *testing.T) {
+	d := New(2)
+	d.Up()
+	d.Constrain(1, 0, LE(7))
+	before := d.Copy()
+	d.ExtraM([]int64{0, 10})
+	if !d.Eq(before) {
+		t.Error("bounds within the max constant must be unchanged")
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	a := New(3)
+	a.Up()
+	b := a.Copy()
+	if a.Hash() != b.Hash() {
+		t.Error("equal DBMs must hash equally")
+	}
+	b.Constrain(1, 0, LE(5))
+	if a.Hash() == b.Hash() {
+		t.Error("different DBMs should hash differently (overwhelmingly)")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	d := New(2)
+	if s := d.String(); s == "" {
+		t.Error("String must render something")
+	}
+	if s := LE(3).String(); s != "<=3" {
+		t.Errorf("bound string = %q", s)
+	}
+	if s := Infinity.String(); s != "inf" {
+		t.Errorf("infinity string = %q", s)
+	}
+}
+
+// --- Property-based tests against a concrete-valuation oracle ---
+
+// randomZone builds a random nonempty canonical zone over dim clocks by
+// applying a few random delay/reset/constrain steps from the origin,
+// mirroring how zones arise during exploration.
+func randomZone(r *rand.Rand, dim int) *DBM {
+	d := New(dim)
+	for step := 0; step < 6; step++ {
+		switch r.Intn(4) {
+		case 0:
+			d.Up()
+		case 1:
+			d.Reset(1+r.Intn(dim-1), int64(r.Intn(5)))
+		case 2:
+			c := 1 + r.Intn(dim-1)
+			prev := d.Copy()
+			if !d.Constrain(c, 0, LE(int64(r.Intn(20)))) {
+				d = prev
+			}
+		case 3:
+			c := 1 + r.Intn(dim-1)
+			prev := d.Copy()
+			if !d.Constrain(0, c, LE(-int64(r.Intn(10)))) {
+				d = prev
+			}
+		}
+	}
+	return d
+}
+
+// sampleValuations returns concrete integer points, some inside typical zone
+// ranges, some outside.
+func sampleValuations(r *rand.Rand, dim, n int) [][]int64 {
+	out := make([][]int64, n)
+	for i := range out {
+		v := make([]int64, dim)
+		for c := 1; c < dim; c++ {
+			v[c] = int64(r.Intn(30))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestQuickCloseIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := randomZone(rr, 4)
+		c := d.Copy()
+		c.Close()
+		return d.Eq(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUpSoundness(t *testing.T) {
+	// Every point of the zone, delayed by any amount, is in Up(zone); and
+	// Up(zone) contains only points reachable by uniform delay of some
+	// contained point (checked on integer samples via subtraction).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		up := d.Copy()
+		up.Up()
+		for _, v := range sampleValuations(r, 3, 40) {
+			if d.Contains(v) {
+				w := []int64{0, v[1] + 5, v[2] + 5}
+				if !up.Contains(w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConstrainSoundness(t *testing.T) {
+	// Constrain(zone, x<=k) contains exactly the points of zone with x<=k.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		k := int64(r.Intn(25))
+		con := d.Copy()
+		nonEmpty := con.Constrain(1, 0, LE(k))
+		for _, v := range sampleValuations(r, 3, 40) {
+			want := d.Contains(v) && v[1] <= k
+			got := nonEmpty && con.Contains(v)
+			if want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResetSoundness(t *testing.T) {
+	// After Reset(c, 0) every contained point has v[c] == 0, and each point of
+	// the original zone maps into the reset zone with its c component zeroed.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		rd := d.Copy()
+		rd.Reset(1, 0)
+		for _, v := range sampleValuations(r, 3, 40) {
+			if d.Contains(v) {
+				w := []int64{0, 0, v[2]}
+				if !rd.Contains(w) {
+					return false
+				}
+			}
+			if rd.Contains(v) && v[1] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInclusionMatchesOracle(t *testing.T) {
+	// If SubsetEq holds, every sampled point of the subset is in the superset.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomZone(r, 3)
+		b := randomZone(r, 3)
+		if a.SubsetEq(b) {
+			for _, v := range sampleValuations(r, 3, 60) {
+				if a.Contains(v) && !b.Contains(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExtraMPreservesSmallPoints(t *testing.T) {
+	// Extrapolation only grows the zone, and within the max-constant box the
+	// zone is unchanged.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		max := []int64{0, 15, 15}
+		e := d.Copy()
+		e.ExtraM(max)
+		if !d.SubsetEq(e) {
+			return false
+		}
+		for _, v := range sampleValuations(r, 3, 40) {
+			inBox := v[1] <= max[1] && v[2] <= max[2]
+			if inBox && d.Contains(v) != e.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomZone(r, 3)
+		b := randomZone(r, 3)
+		inter := a.Copy()
+		ok := inter.Intersect(b)
+		for _, v := range sampleValuations(r, 3, 40) {
+			want := a.Contains(v) && b.Contains(v)
+			got := ok && inter.Contains(v)
+			if want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClose(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	zones := make([]*DBM, 64)
+	for i := range zones {
+		zones[i] = randomZone(r, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := zones[i%len(zones)].Copy()
+		z.Close()
+	}
+}
+
+func BenchmarkConstrain(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	base := randomZone(r, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z := base.Copy()
+		z.Constrain(3, 0, LE(int64(i%50)))
+	}
+}
+
+func TestQuickUpIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 4)
+		once := d.Copy()
+		once.Up()
+		twice := once.Copy()
+		twice.Up()
+		return once.Eq(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFreeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 4)
+		once := d.Copy()
+		once.Free(2)
+		twice := once.Copy()
+		twice.Free(2)
+		return once.Eq(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResetOverridesReset(t *testing.T) {
+	// Resetting twice equals resetting once with the latter value.
+	f := func(seed int64, a8, b8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		va, vb := int64(a8%20), int64(b8%20)
+		d1 := d.Copy()
+		d1.Reset(1, va)
+		d1.Reset(1, vb)
+		d2 := d.Copy()
+		d2.Reset(1, vb)
+		return d1.Eq(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDownContainsOriginal(t *testing.T) {
+	// Time predecessors always include the zone itself.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		down := d.Copy()
+		down.Down()
+		return d.SubsetEq(down)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCopyClockOracle(t *testing.T) {
+	// After CopyClock(2,1), contained points have equal components, and
+	// points of the original zone map in with component 2 := component 1.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		cc := d.Copy()
+		cc.CopyClock(2, 1)
+		for _, v := range sampleValuations(r, 3, 40) {
+			if d.Contains(v) && !cc.Contains([]int64{0, v[1], v[1]}) {
+				return false
+			}
+			if cc.Contains(v) && v[1] != v[2] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExtraLUCoarserThanExtraM(t *testing.T) {
+	// With U split below M, Extra_LU must include everything Extra_M keeps.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomZone(r, 3)
+		m := d.Copy()
+		m.ExtraM([]int64{0, 12, 12})
+		lu := d.Copy()
+		lu.ExtraLU([]int64{0, 12, 3}, []int64{0, 3, 12})
+		return m.SubsetEq(lu) || m.Eq(lu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

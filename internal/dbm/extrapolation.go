@@ -1,0 +1,100 @@
+package dbm
+
+// ExtraM applies the classical maximal-constant extrapolation (Extra_M from
+// Behrmann et al., "Lower and Upper Bounds in Zone Based Abstractions of
+// Timed Automata") and restores canonical form.
+//
+// max[c] is the largest constant clock c is ever compared against in guards,
+// invariants, or properties; a negative value means the clock is never
+// compared and all its bounds may be abstracted away. max[0] is ignored and
+// treated as 0.
+//
+// Soundness: two zones that agree after ExtraM are bisimilar with respect to
+// all constraints bounded by max, so reachability of any location/guard in
+// the model is preserved. Upper bounds of clocks beyond their max constant
+// become Infinity; callers computing sup values (e.g. WCRT) must therefore
+// set the measured clock's max constant at least as large as any bound they
+// want to observe exactly.
+func (d *DBM) ExtraM(max []int64) {
+	n := d.dim
+	changed := false
+	mc := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return max[i]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			b := d.At(i, j)
+			if b == Infinity {
+				continue
+			}
+			if i != 0 && b > LE(mc(i)) {
+				// Upper bound on xi (relative to xj) beyond xi's max
+				// constant: drop it.
+				d.set(i, j, Infinity)
+				changed = true
+			} else if b < LT(-mc(j)) {
+				// Lower bound on xj below -max: relax to the strict bound at
+				// the max constant.
+				d.set(i, j, LT(-mc(j)))
+				changed = true
+			}
+		}
+	}
+	if changed {
+		d.Close()
+	}
+}
+
+// ExtraLU applies lower/upper-bound extrapolation (Extra_LU from the same
+// paper): upper-bound entries beyond U(x_i) are dropped, and lower bounds
+// below -L(x_j) are relaxed to (< -L(x_j)). Because guards that bound a
+// clock from below can only test it against L and guards from above against
+// U, the abstraction preserves reachability while being coarser than ExtraM
+// (which uses max(L,U) on both sides). Canonical form is restored.
+//
+// As with ExtraM, the upper bound of any clock c with a registered U(c) at
+// least as large as the values of interest is preserved exactly, so WCRT
+// suprema remain exact under the same horizon discipline.
+func (d *DBM) ExtraLU(lower, upper []int64) {
+	n := d.dim
+	changed := false
+	up := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return upper[i]
+	}
+	lo := func(j int) int64 {
+		if j == 0 {
+			return 0
+		}
+		return lower[j]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			b := d.At(i, j)
+			if b == Infinity {
+				continue
+			}
+			if i != 0 && b > LE(up(i)) {
+				d.set(i, j, Infinity)
+				changed = true
+			} else if b < LT(-lo(j)) {
+				d.set(i, j, LT(-lo(j)))
+				changed = true
+			}
+		}
+	}
+	if changed {
+		d.Close()
+	}
+}

@@ -1,0 +1,285 @@
+package icrns
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/rtc"
+	"repro/internal/sim"
+	"repro/internal/symta"
+)
+
+// Row identifies one Table 1 / Table 2 row: a requirement analyzed in a
+// specific application combination.
+type Row struct {
+	Req   string
+	Combo Combo
+	Label string
+}
+
+// Table1Rows lists the five rows of the paper's Table 1, in order.
+var Table1Rows = []Row{
+	{ReqHandleTMC, ComboCV, "HandleTMC (+ ChangeVolume)"},
+	{ReqHandleTMC, ComboAL, "HandleTMC (+ AddressLookup)"},
+	{ReqK2A, ComboCV, "K2A (ChangeVolume + HandleTMC)"},
+	{ReqA2V, ComboCV, "A2V (ChangeVolume + HandleTMC)"},
+	{ReqAddressLookup, ComboAL, "AddressLookup (+ HandleTMC)"},
+}
+
+// HorizonMS returns a sufficient observation horizon per requirement.
+func HorizonMS(req string) int64 {
+	switch req {
+	case ReqHandleTMC:
+		return 1500
+	case ReqAddressLookup:
+		return 500
+	default: // K2A, A2V
+		return 250
+	}
+}
+
+// CellOptions tunes one WCRT computation.
+type CellOptions struct {
+	Cfg Config
+	// MaxStates caps the exhaustive exploration; 0 = unlimited.
+	MaxStates int
+	// FallbackStates, when the exhaustive run is truncated, bounds a
+	// randomized depth-first "structured testing" run that produces a lower
+	// bound — the paper's df/rdf mode. 0 disables the fallback.
+	FallbackStates int
+	// Seed feeds the randomized fallback search.
+	Seed int64
+	// Workers > 1 enables parallel exploration per cell.
+	Workers int
+}
+
+// Cell computes one Table 1 cell: the WCRT of row.Req under column col.
+// When the exhaustive search exceeds its budget the result degrades to a
+// lower bound obtained by randomized depth-first search, exactly as the
+// paper reports "> 400.000 (df)" entries.
+func Cell(row Row, col Column, opts CellOptions) (arch.WCRTResult, error) {
+	sys, reqs := Build(row.Combo, col, opts.Cfg)
+	req := reqs[row.Req]
+	if req == nil {
+		return arch.WCRTResult{}, fmt.Errorf("icrns: requirement %s not in combo %v", row.Req, row.Combo)
+	}
+	copts := arch.Options{HorizonMS: HorizonMS(row.Req)}
+	res, err := arch.AnalyzeWCRT(sys, req, copts,
+		core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+	if err != nil {
+		return res, err
+	}
+	if res.Exact || opts.FallbackStates == 0 {
+		return res, nil
+	}
+	// Structured-testing fallback: randomized depth-first lower bound.
+	fb, err := arch.AnalyzeWCRT(sys, req, copts, core.Options{
+		Order: core.RDFS, Seed: opts.Seed, MaxStates: opts.FallbackStates})
+	if err != nil {
+		return res, err
+	}
+	if fb.MS.Cmp(res.MS) > 0 {
+		fb.Exact = false
+		return fb, nil
+	}
+	return res, nil
+}
+
+// Table1 computes the full Table 1 grid. Cells whose exhaustive exploration
+// exceeds the budget are reported as "> bound" rows.
+func Table1(opts CellOptions) (map[Row]map[Column]arch.WCRTResult, error) {
+	out := map[Row]map[Column]arch.WCRTResult{}
+	for _, row := range Table1Rows {
+		out[row] = map[Column]arch.WCRTResult{}
+		for _, col := range Columns {
+			res, err := Cell(row, col, opts)
+			if err != nil {
+				return nil, fmt.Errorf("row %q col %v: %w", row.Label, col, err)
+			}
+			out[row][col] = res
+		}
+	}
+	return out, nil
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(t map[Row]map[Column]arch.WCRTResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s", "Requirement \\ Event model")
+	for _, col := range Columns {
+		fmt.Fprintf(&sb, " %-18s", col)
+	}
+	sb.WriteString("\n")
+	for _, row := range Table1Rows {
+		fmt.Fprintf(&sb, "%-34s", row.Label)
+		for _, col := range Columns {
+			fmt.Fprintf(&sb, " %-18s", t[row][col].String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Table2Tool identifies one comparison column of Table 2.
+type Table2Tool int
+
+const (
+	ToolUppaalPO Table2Tool = iota
+	ToolUppaalPNO
+	ToolPOOSL
+	ToolSymTA
+	ToolMPA
+)
+
+// Table2Tools lists the Table 2 columns in paper order.
+var Table2Tools = []Table2Tool{ToolUppaalPO, ToolUppaalPNO, ToolPOOSL, ToolSymTA, ToolMPA}
+
+func (t Table2Tool) String() string {
+	switch t {
+	case ToolUppaalPO:
+		return "Uppaal (po)"
+	case ToolUppaalPNO:
+		return "Uppaal (pno)"
+	case ToolPOOSL:
+		return "POOSL (pno)"
+	case ToolSymTA:
+		return "SymTA/S (pno)"
+	case ToolMPA:
+		return "MPA (pno)"
+	}
+	return "?tool"
+}
+
+// Table2Options tunes the tool-comparison run.
+type Table2Options struct {
+	Cell CellOptions
+	// Sim configures the POOSL-style simulation campaign.
+	Sim sim.Options
+}
+
+// Table2Cell computes one comparison cell.
+func Table2Cell(row Row, tool Table2Tool, opts Table2Options) (string, error) {
+	switch tool {
+	case ToolUppaalPO, ToolUppaalPNO:
+		col := ColPNO
+		if tool == ToolUppaalPO {
+			col = ColPO
+		}
+		res, err := Cell(row, col, opts.Cell)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case ToolPOOSL:
+		sys, reqs := Build(row.Combo, ColPNO, opts.Cell.Cfg)
+		req := reqs[row.Req]
+		results, err := sim.Simulate(sys, []*arch.Requirement{req}, opts.Sim)
+		if err != nil {
+			return "", err
+		}
+		return results[row.Req].MaxMS.FloatString(3), nil
+	case ToolSymTA:
+		sys, reqs := Build(row.Combo, ColPNO, opts.Cell.Cfg)
+		req := reqs[row.Req]
+		results, err := symta.Analyze(sys, []*arch.Requirement{req})
+		if err != nil {
+			return "", err
+		}
+		return results[row.Req].MS.FloatString(3), nil
+	case ToolMPA:
+		sys, reqs := Build(row.Combo, ColPNO, opts.Cell.Cfg)
+		req := reqs[row.Req]
+		results, err := rtc.Analyze(sys, []*arch.Requirement{req})
+		if err != nil {
+			return "", err
+		}
+		return results[row.Req].MS.FloatString(3), nil
+	}
+	return "", fmt.Errorf("icrns: unknown tool %v", tool)
+}
+
+// Table2 computes the full tool-comparison grid.
+func Table2(opts Table2Options) (map[Row]map[Table2Tool]string, error) {
+	out := map[Row]map[Table2Tool]string{}
+	for _, row := range Table1Rows {
+		out[row] = map[Table2Tool]string{}
+		for _, tool := range Table2Tools {
+			cell, err := Table2Cell(row, tool, opts)
+			if err != nil {
+				return nil, fmt.Errorf("row %q tool %v: %w", row.Label, tool, err)
+			}
+			out[row][tool] = cell
+		}
+	}
+	return out, nil
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(t map[Row]map[Table2Tool]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s", "Requirement \\ Tool")
+	for _, tool := range Table2Tools {
+		fmt.Fprintf(&sb, " %-16s", tool)
+	}
+	sb.WriteString("\n")
+	for _, row := range Table1Rows {
+		fmt.Fprintf(&sb, "%-34s", row.Label)
+		for _, tool := range Table2Tools {
+			fmt.Fprintf(&sb, " %-16s", t[row][tool])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Witness returns a critical-instant trace for one Table 1 cell: a symbolic
+// schedule realizing the worst-case response time. This is the capability
+// the paper highlights — "some results found by simulation could be
+// falsified by showing the counter example from the model checker".
+func Witness(row Row, col Column, opts CellOptions) (string, arch.WCRTResult, error) {
+	sys, reqs := Build(row.Combo, col, opts.Cfg)
+	req := reqs[row.Req]
+	if req == nil {
+		return "", arch.WCRTResult{}, fmt.Errorf("icrns: requirement %s not in combo %v", row.Req, row.Combo)
+	}
+	return arch.WCRTWitness(sys, req,
+		arch.Options{HorizonMS: HorizonMS(row.Req)},
+		core.Options{MaxStates: opts.MaxStates})
+}
+
+// Deadlines lists the timeliness requirements annotated in the paper's
+// sequence diagrams (Figures 2-3) and case description: keypress-to-audible
+// and audible-to-visual for ChangeVolume, one second for urgent TMC
+// messages, and the address lookup budget.
+func Deadlines() map[string]*big.Rat {
+	return map[string]*big.Rat{
+		ReqK2A:           arch.MS(50, 1),   // part of "A2V delay < 50 ms" family; K2A budget
+		ReqA2V:           arch.MS(50, 1),   // Figure 2: A2V delay < 50 msec
+		ReqHandleTMC:     arch.MS(1000, 1), // Figure 3: TMC delay < 1 sec
+		ReqAddressLookup: arch.MS(200, 1),  // case description budget
+	}
+}
+
+// Verify checks every requirement of the given combination and column
+// against its deadline, returning per-requirement verdicts.
+func Verify(combo Combo, col Column, opts CellOptions) (map[string]bool, error) {
+	sys, reqs := Build(combo, col, opts.Cfg)
+	verdicts := map[string]bool{}
+	for name, req := range reqs {
+		deadline := Deadlines()[name]
+		if deadline == nil {
+			continue
+		}
+		ok, _, err := arch.VerifyDeadline(sys, req, deadline,
+			arch.Options{HorizonMS: HorizonMS(name)},
+			core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("verify %s: %w", name, err)
+		}
+		verdicts[name] = ok
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,357 @@
+package rtc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Curve is a non-decreasing piecewise-linear function on [0, H] (a finite
+// horizon), represented by its breakpoints. Between breakpoints the curve is
+// linear; beyond the last breakpoint it is undefined (callers must stay
+// within the horizon). Values and coordinates are integer time/resource
+// units; segment slopes are rational but all breakpoints are integral,
+// which suffices for the staircase workloads and unit-rate services of this
+// package.
+//
+// Curve provides the min-plus algebra used by real-time calculus:
+// pointwise minimum and addition, min-plus convolution, and the horizontal
+// deviation that yields delay bounds.
+type Curve struct {
+	// xs is strictly increasing with xs[0] == 0; ys[i] is the value at
+	// xs[i]. Linear interpolation applies in between, so a jump is encoded
+	// by two breakpoints one unit apart (integer grid).
+	xs, ys []int64
+}
+
+// NewCurve builds a curve from breakpoints, validating monotonicity.
+func NewCurve(xs, ys []int64) (*Curve, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("rtc: curve needs matching nonempty breakpoints")
+	}
+	if xs[0] != 0 {
+		return nil, fmt.Errorf("rtc: curve must start at x=0")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("rtc: breakpoints must increase (x[%d]=%d after %d)", i, xs[i], xs[i-1])
+		}
+		if ys[i] < ys[i-1] {
+			return nil, fmt.Errorf("rtc: curve must be non-decreasing (y[%d]=%d after %d)", i, ys[i], ys[i-1])
+		}
+	}
+	return &Curve{xs: append([]int64(nil), xs...), ys: append([]int64(nil), ys...)}, nil
+}
+
+// Horizon returns the largest x the curve is defined for.
+func (c *Curve) Horizon() int64 { return c.xs[len(c.xs)-1] }
+
+// At evaluates the curve by linear interpolation. x must lie within
+// [0, Horizon].
+func (c *Curve) At(x int64) int64 {
+	if x < 0 || x > c.Horizon() {
+		panic(fmt.Sprintf("rtc: evaluation at %d outside [0,%d]", x, c.Horizon()))
+	}
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] >= x })
+	if c.xs[i] == x {
+		return c.ys[i]
+	}
+	// Interpolate on the segment (i-1, i); the product fits int64 for the
+	// magnitudes used here (checked by construction in this package).
+	x0, y0 := c.xs[i-1], c.ys[i-1]
+	x1, y1 := c.xs[i], c.ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// UnitRate returns the service curve β(Δ) = rate·Δ on [0, h].
+func UnitRate(rate, h int64) *Curve {
+	c, _ := NewCurve([]int64{0, h}, []int64{0, rate * h})
+	return c
+}
+
+// Staircase materializes the upper arrival workload of a (P, J, D) stream
+// with per-event demand C on [0, h]. The true upper curve jumps at the event
+// instant (W(Δ) includes every event with a_q < Δ, and W(0⁺) already counts
+// the events at 0); on the integer grid each jump is encoded as a unit-wide
+// riser ending at the event instant, which over-approximates the curve near
+// the jump — the conservative direction for an upper workload bound.
+func Staircase(a Arrival, h int64) *Curve {
+	xs := []int64{0}
+	ys := []int64{0}
+	n := a.CountBefore(h + 1)
+	events := a.Events(int(n))
+	level := int64(0)
+	// Coalesce simultaneous events into one jump per distinct instant.
+	for i := 0; i < len(events); {
+		e := events[i]
+		j := i
+		for j < len(events) && events[j] == e {
+			j++
+		}
+		if e > h {
+			break
+		}
+		// Riser over (e-1, e], clipped at 0.
+		if e > 0 {
+			xs, ys = appendPoint(xs, ys, e-1, level)
+		}
+		level += int64(j-i) * a.C
+		xs, ys = appendPoint(xs, ys, e, level)
+		i = j
+	}
+	xs, ys = appendPoint(xs, ys, h, level)
+	c, err := NewCurve(xs, ys)
+	if err != nil {
+		panic("rtc: staircase construction: " + err.Error())
+	}
+	return c
+}
+
+func appendPoint(xs, ys []int64, x, y int64) ([]int64, []int64) {
+	if n := len(xs); n > 0 && xs[n-1] == x {
+		if ys[n-1] < y {
+			ys[n-1] = y
+		}
+		return xs, ys
+	}
+	return append(xs, x), append(ys, y)
+}
+
+// mergedBreakpoints returns the sorted union of breakpoints of both curves
+// limited to the shared horizon.
+func mergedBreakpoints(a, b *Curve) []int64 {
+	h := a.Horizon()
+	if bh := b.Horizon(); bh < h {
+		h = bh
+	}
+	seen := map[int64]bool{}
+	var out []int64
+	for _, x := range a.xs {
+		if x <= h && !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b.xs {
+		if x <= h && !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Min returns the pointwise minimum of two curves on their shared horizon.
+func Min(a, b *Curve) *Curve {
+	xs := mergedBreakpoints(a, b)
+	ys := make([]int64, len(xs))
+	for i, x := range xs {
+		av, bv := a.At(x), b.At(x)
+		if av < bv {
+			ys[i] = av
+		} else {
+			ys[i] = bv
+		}
+	}
+	// The pointwise minimum of piecewise-linear curves can have extra
+	// breakpoints at crossings; on the integer grid sampling every merged
+	// breakpoint plus crossing-adjacent integers is exact because all
+	// crossings happen within one unit of a breakpoint pair. We refine by
+	// also sampling midpoints between consecutive breakpoints.
+	return refineMin(a, b, xs, ys)
+}
+
+func refineMin(a, b *Curve, xs, ys []int64) *Curve {
+	var rx, ry []int64
+	for i := 0; i < len(xs); i++ {
+		rx, ry = appendPoint(rx, ry, xs[i], ys[i])
+		if i+1 < len(xs) && xs[i+1]-xs[i] > 1 {
+			mid := xs[i] + (xs[i+1]-xs[i])/2
+			av, bv := a.At(mid), b.At(mid)
+			v := av
+			if bv < v {
+				v = bv
+			}
+			rx, ry = appendPoint(rx, ry, mid, v)
+		}
+	}
+	c, err := NewCurve(rx, ry)
+	if err != nil {
+		panic("rtc: min construction: " + err.Error())
+	}
+	return c
+}
+
+// Add returns the pointwise sum of two curves on their shared horizon.
+func Add(a, b *Curve) *Curve {
+	xs := mergedBreakpoints(a, b)
+	ys := make([]int64, len(xs))
+	for i, x := range xs {
+		ys[i] = a.At(x) + b.At(x)
+	}
+	c, err := NewCurve(xs, ys)
+	if err != nil {
+		panic("rtc: add construction: " + err.Error())
+	}
+	return c
+}
+
+// SubPos returns max(0, a − b) clamped to be non-decreasing by running
+// maximum — the "remaining service" operation β ⊖ α of real-time calculus:
+// (a ⊖ b)(Δ) = sup_{0≤λ≤Δ} (a(λ) − b(λ))⁺.
+//
+// On each merged segment the integrand f = a − b is linear, so the running
+// maximum is flat while f is below the best-so-far and follows f once it
+// crosses; the crossing breakpoint is inserted (rounded up, keeping the
+// result a lower bound — the safe direction for a remaining-service curve).
+func SubPos(a, b *Curve) *Curve {
+	xs := mergedBreakpoints(a, b)
+	var rx, ry []int64
+	best := int64(0)
+	f := func(x int64) int64 { return a.At(x) - b.At(x) }
+	rx, ry = appendPoint(rx, ry, 0, maxi(0, f(0)))
+	best = ry[0]
+	for i := 1; i < len(xs); i++ {
+		x0, x1 := xs[i-1], xs[i]
+		f1 := f(x1)
+		switch {
+		case f1 <= best:
+			rx, ry = appendPoint(rx, ry, x1, best)
+		case f(x0) >= best:
+			rx, ry = appendPoint(rx, ry, x1, f1)
+			best = f1
+		default:
+			// f crosses best inside (x0, x1): flat until the crossing,
+			// rounded up to the grid, then rise to (x1, f1).
+			f0 := f(x0)
+			xc := x0 + ((best-f0)*(x1-x0)+f1-f0-1)/(f1-f0) // ceil
+			if xc > x1 {
+				xc = x1
+			}
+			rx, ry = appendPoint(rx, ry, xc, best)
+			if xc < x1 {
+				rx, ry = appendPoint(rx, ry, x1, f1)
+			}
+			best = maxi(best, f1)
+		}
+	}
+	c, err := NewCurve(rx, ry)
+	if err != nil {
+		panic("rtc: subpos construction: " + err.Error())
+	}
+	return c
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Conv returns the min-plus convolution (a ⊗ b)(Δ) = inf_{0≤λ≤Δ}
+// (a(λ) + b(Δ−λ)), evaluated exactly at the union of breakpoint offsets.
+// For the concave/convex curves of this package the infimum is attained at
+// a breakpoint of one operand, which the sampling covers.
+func Conv(a, b *Curve) *Curve {
+	h := a.Horizon()
+	if bh := b.Horizon(); bh < h {
+		h = bh
+	}
+	// Candidate λ values: breakpoints of a plus (Δ − breakpoints of b).
+	var xs []int64
+	seen := map[int64]bool{}
+	addX := func(x int64) {
+		if x >= 0 && x <= h && !seen[x] {
+			seen[x] = true
+			xs = append(xs, x)
+		}
+	}
+	for _, x := range a.xs {
+		addX(x)
+	}
+	for _, x := range b.xs {
+		addX(x)
+	}
+	for _, xa := range a.xs {
+		for _, xb := range b.xs {
+			addX(xa + xb)
+		}
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	ys := make([]int64, len(xs))
+	for i, delta := range xs {
+		best := int64(1) << 62
+		consider := func(lambda int64) {
+			if lambda < 0 || lambda > delta {
+				return
+			}
+			if v := a.At(lambda) + b.At(delta-lambda); v < best {
+				best = v
+			}
+		}
+		consider(0)
+		consider(delta)
+		for _, xa := range a.xs {
+			consider(xa)
+		}
+		for _, xb := range b.xs {
+			consider(delta - xb)
+		}
+		ys[i] = best
+	}
+	// Enforce monotonicity (numerical artifacts cannot occur here, but the
+	// running minimum-of-infima construction keeps the invariant explicit).
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			ys[i] = ys[i-1]
+		}
+	}
+	c, err := NewCurve(xs, ys)
+	if err != nil {
+		panic("rtc: conv construction: " + err.Error())
+	}
+	return c
+}
+
+// HorizontalDev returns the horizontal deviation h(a, b) = sup_{Δ}
+// inf{τ ≥ 0 : a(Δ) ≤ b(Δ+τ)} — the RTC delay bound of workload a under
+// service b — or an error when b never catches up within the horizon.
+func HorizontalDev(a, b *Curve) (int64, error) {
+	worst := int64(0)
+	for i, x := range a.xs {
+		w := a.ys[i]
+		// Smallest t with b(t) ≥ w, by binary search over b's domain.
+		if b.At(b.Horizon()) < w {
+			return 0, fmt.Errorf("rtc: service exhausted before providing %d units", w)
+		}
+		lo, hi := int64(0), b.Horizon()
+		for hi-lo > 0 {
+			mid := lo + (hi-lo)/2
+			if b.At(mid) >= w {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if d := hi - x; d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// String renders the breakpoints for debugging.
+func (c *Curve) String() string {
+	var sb strings.Builder
+	sb.WriteString("curve[")
+	for i := range c.xs {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "(%d,%d)", c.xs[i], c.ys[i])
+	}
+	sb.WriteString("]")
+	return sb.String()
+}

@@ -1,0 +1,235 @@
+package rtc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCurve(t *testing.T, xs, ys []int64) *Curve {
+	t.Helper()
+	c, err := NewCurve(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve(nil, nil); err == nil {
+		t.Error("empty curve must be rejected")
+	}
+	if _, err := NewCurve([]int64{1, 2}, []int64{0, 1}); err == nil {
+		t.Error("curve not starting at 0 must be rejected")
+	}
+	if _, err := NewCurve([]int64{0, 0}, []int64{0, 1}); err == nil {
+		t.Error("non-increasing x must be rejected")
+	}
+	if _, err := NewCurve([]int64{0, 5}, []int64{3, 1}); err == nil {
+		t.Error("decreasing y must be rejected")
+	}
+}
+
+func TestCurveAtInterpolates(t *testing.T) {
+	c := mustCurve(t, []int64{0, 10, 20}, []int64{0, 10, 10})
+	cases := []struct{ x, want int64 }{{0, 0}, {5, 5}, {10, 10}, {15, 10}, {20, 10}}
+	for _, cse := range cases {
+		if got := c.At(cse.x); got != cse.want {
+			t.Errorf("At(%d) = %d, want %d", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestUnitRate(t *testing.T) {
+	b := UnitRate(1, 100)
+	if b.At(37) != 37 || b.At(100) != 100 {
+		t.Error("unit-rate curve must be the identity")
+	}
+	b2 := UnitRate(3, 10)
+	if b2.At(10) != 30 {
+		t.Error("rate scaling broken")
+	}
+}
+
+func TestStaircaseMatchesCountBefore(t *testing.T) {
+	a := Arrival{P: 10, J: 0, C: 5}
+	w := Staircase(a, 50)
+	// At each event instant the workload already includes that event (the
+	// conservative upper-curve convention).
+	for _, c := range []struct{ x, want int64 }{
+		{0, 5}, {1, 5}, {9, 5}, {10, 10}, {45, 25},
+	} {
+		if got := w.At(c.x); got != c.want {
+			t.Errorf("W(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQuickStaircaseOracle(t *testing.T) {
+	// At every integer point, the staircase equals CountBefore·C.
+	f := func(p8, j8 uint8) bool {
+		a := Arrival{P: int64(p8%15) + 2, J: int64(j8 % 30), C: 3}
+		h := int64(120)
+		w := Staircase(a, h)
+		for x := int64(0); x <= h; x += 7 {
+			if w.At(x) != a.CountBefore(x+1)*a.C {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinAddSubPos(t *testing.T) {
+	a := mustCurve(t, []int64{0, 10}, []int64{0, 20}) // slope 2
+	b := mustCurve(t, []int64{0, 10}, []int64{5, 15}) // offset 5, slope 1
+	m := Min(a, b)
+	// Crossing at x=5: min follows a before, b after.
+	for _, c := range []struct{ x, want int64 }{{0, 0}, {2, 4}, {5, 10}, {8, 13}, {10, 15}} {
+		if got := m.At(c.x); got != c.want {
+			t.Errorf("Min(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	s := Add(a, b)
+	if s.At(10) != 35 || s.At(0) != 5 {
+		t.Error("Add broken")
+	}
+	d := SubPos(a, b)
+	// a-b: -5 at 0, +5 at 10, zero at 5; running positive max.
+	if d.At(0) != 0 || d.At(5) != 0 || d.At(10) != 5 {
+		t.Errorf("SubPos values: %d %d %d", d.At(0), d.At(5), d.At(10))
+	}
+}
+
+func TestSubPosIsRunningMax(t *testing.T) {
+	// Service 1 unit/step minus a burst of 6 at t=0: remaining service is
+	// flat zero until t=6 then rises with slope 1.
+	beta := UnitRate(1, 40)
+	w := Staircase(Arrival{P: 100, J: 100, C: 6}, 40) // two events at 0... J=100,P=100: a1=0,a2=0
+	rem := SubPos(beta, w)
+	if rem.At(5) != 0 {
+		t.Errorf("remaining at 5 = %d, want 0", rem.At(5))
+	}
+	if rem.At(20) != 20-12 {
+		t.Errorf("remaining at 20 = %d, want 8", rem.At(20))
+	}
+}
+
+func TestConvWithZeroIsIdentityish(t *testing.T) {
+	a := mustCurve(t, []int64{0, 10, 20}, []int64{0, 10, 15})
+	zero := mustCurve(t, []int64{0, 20}, []int64{0, 0})
+	c := Conv(a, zero)
+	// (a ⊗ 0)(Δ) = inf over prefix of a + 0 = 0 everywhere (a(0)=0 taken at
+	// λ=0 plus zero curve at Δ).
+	if c.At(20) != 0 {
+		t.Errorf("conv with zero floor = %d, want 0", c.At(20))
+	}
+	// Convolution with the identity-delay curve: b(x)=x shifts nothing for
+	// concave a starting at 0: (a ⊗ b)(Δ) ≤ min(a(Δ), b(Δ)).
+	b := UnitRate(1, 20)
+	cb := Conv(a, b)
+	for x := int64(0); x <= 20; x += 5 {
+		am, bm := a.At(x), b.At(x)
+		min := am
+		if bm < min {
+			min = bm
+		}
+		if cb.At(x) > min {
+			t.Errorf("conv(%d) = %d exceeds min(a,b) = %d", x, cb.At(x), min)
+		}
+	}
+}
+
+func TestQuickConvProperties(t *testing.T) {
+	// Commutativity and domination: a ⊗ b = b ⊗ a ≤ min(a, b) when both
+	// start at 0.
+	gen := func(r *rand.Rand) *Curve {
+		xs := []int64{0}
+		ys := []int64{0}
+		x, y := int64(0), int64(0)
+		for i := 0; i < 4; i++ {
+			x += 1 + r.Int63n(8)
+			y += r.Int63n(10)
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		c, _ := NewCurve(xs, ys)
+		return c
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		ab, ba := Conv(a, b), Conv(b, a)
+		h := ab.Horizon()
+		if ba.Horizon() < h {
+			h = ba.Horizon()
+		}
+		for x := int64(0); x <= h; x++ {
+			if ab.At(x) != ba.At(x) {
+				return false
+			}
+			am, bm := int64(0), int64(0)
+			if x <= a.Horizon() {
+				am = a.At(x)
+			}
+			if x <= b.Horizon() {
+				bm = b.At(x)
+			}
+			min := am
+			if bm < min {
+				min = bm
+			}
+			if ab.At(x) > min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHorizontalDevMatchesDelayBound(t *testing.T) {
+	// Single stream on unit service: the curve-level deviation must equal
+	// the delayBound computation used by Analyze.
+	for _, a := range []Arrival{
+		{P: 20, J: 0, C: 5},
+		{P: 20, J: 20, C: 5},
+		{P: 20, J: 40, C: 5},
+		{P: 15, J: 7, C: 4},
+	} {
+		w := Staircase(a, 400)
+		beta := UnitRate(1, 400)
+		hd, err := HorizontalDev(w, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk := &task{name: "t", c: a.C, in: a}
+		db, err := delayBound(tk, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hd != db {
+			t.Errorf("%+v: horizontal deviation %d != delay bound %d", a, hd, db)
+		}
+	}
+}
+
+func TestHorizontalDevExhaustedService(t *testing.T) {
+	w := Staircase(Arrival{P: 5, J: 0, C: 10}, 50) // demand 2/unit
+	beta := UnitRate(1, 50)
+	if _, err := HorizontalDev(w, beta); err == nil {
+		t.Error("overloaded service must be reported")
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	c := mustCurve(t, []int64{0, 5}, []int64{0, 5})
+	if c.String() == "" {
+		t.Error("String must render")
+	}
+}

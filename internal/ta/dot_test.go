@@ -1,0 +1,95 @@
+package ta
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFig4Like reconstructs the paper's Fig. 4 RAD automaton shape.
+func buildFig4Like(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork("RADnet")
+	x := n.AddClock("x")
+	setvolume := n.AddVar("setvolume", 0, 0, 4)
+	rec := n.AddVar("rec", 0, 0, 4)
+	hurry := n.AddChan("hurry", BroadcastUrgent)
+	nac := n.AddChan("notice_audible_change1", Broadcast)
+
+	p := n.AddProcess("RAD")
+	idle := p.AddLocation("idle", Normal)
+	av := p.AddLocation("adjust_volume", Normal, CLE(x, 9))
+	htmc := p.AddLocation("handle_TMC", Normal, CLE(x, 91))
+	p.AddEdge(Edge{Src: idle, Dst: av,
+		Guard:  VarCmp(setvolume, Gt, 0),
+		Sync:   Sync{Chan: hurry.ID, Dir: Emit},
+		Resets: []Reset{{x.ID, 0}}, Update: Inc(setvolume, -1)})
+	p.AddEdge(Edge{Src: av, Dst: idle,
+		ClockGuard: CEq(x, 9), Sync: Sync{Chan: nac.ID, Dir: Emit}})
+	p.AddEdge(Edge{Src: idle, Dst: htmc,
+		Guard:  VarCmp(rec, Gt, 0),
+		Sync:   Sync{Chan: hurry.ID, Dir: Emit},
+		Resets: []Reset{{x.ID, 0}}, Update: Inc(rec, -1)})
+	p.AddEdge(Edge{Src: htmc, Dst: idle, ClockGuard: CEq(x, 91)})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDOTRendersFig4(t *testing.T) {
+	n := buildFig4Like(t)
+	dot := n.DOT()
+	for _, want := range []string{
+		"digraph", "cluster_0", "RAD",
+		"idle", "adjust_volume", "handle_TMC",
+		"x<=9", "x<=91",
+		"setvolume > 0", "hurry!", "notice_audible_change1!",
+		"x=0", "setvolume--",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestDOTRendersDynamicBoundsAndKinds(t *testing.T) {
+	n := NewNetwork("dyn")
+	x := n.AddClock("x")
+	y := n.AddClock("y")
+	d := n.AddVar("D", 0, 0, 10)
+	p := n.AddProcess("P")
+	run := p.AddLocation("run", Normal, CLEVar(x, d))
+	u := p.AddLocation("u", UrgentLoc)
+	c := p.AddLocation("c", Committed)
+	p.AddEdge(Edge{Src: run, Dst: u, ClockGuard: CEqVar(x, d), Frees: []ClockID{y.ID}})
+	p.AddEdge(Edge{Src: u, Dst: c, ClockGuard: []Constraint{DiffLE(x, y, 3)}})
+	p.AddEdge(Edge{Src: c, Dst: run})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	dot := n.DOT()
+	for _, want := range []string{
+		"x<=D", "x-y<=3", "free(y)", "doublecircle", "doubleoctagon",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestFreesValidation(t *testing.T) {
+	n := NewNetwork("bad")
+	p := n.AddProcess("P")
+	l := p.AddLocation("l", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, Frees: []ClockID{5}})
+	if err := n.Finalize(); err == nil {
+		t.Error("freeing an unknown clock must be rejected")
+	}
+	n2 := NewNetwork("bad2")
+	p2 := n2.AddProcess("P")
+	l2 := p2.AddLocation("l", Normal)
+	p2.AddEdge(Edge{Src: l2, Dst: l2, Frees: []ClockID{0}})
+	if err := n2.Finalize(); err == nil {
+		t.Error("freeing the reference clock must be rejected")
+	}
+}

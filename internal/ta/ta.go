@@ -1,0 +1,315 @@
+// Package ta provides an UPPAAL-style modeling language for networks of
+// timed automata: processes with locations (normal, urgent, committed),
+// edges with clock guards, data guards over bounded integer variables,
+// clock resets and variable updates, and synchronization over binary,
+// broadcast, urgent, and urgent-broadcast channels.
+//
+// A Network is built with the Add* methods, then Finalize validates it and
+// precomputes the edge indices and maximal clock constants needed by the
+// zone-graph explorer in internal/core.
+package ta
+
+import (
+	"fmt"
+)
+
+// ClockID indexes a clock in the network; clock 0 is the implicit reference
+// clock and is never returned by AddClock.
+type ClockID int
+
+// VarID indexes a bounded integer variable of the network.
+type VarID int
+
+// ChanID indexes a synchronization channel of the network.
+type ChanID int
+
+// LocID indexes a location within one process.
+type LocID int
+
+// ProcID indexes a process within the network.
+type ProcID int
+
+// Clock is a named handle to a network clock, as returned by AddClock.
+type Clock struct {
+	ID   ClockID
+	Name string
+}
+
+// IntVar is a named handle to a bounded integer variable.
+type IntVar struct {
+	ID   VarID
+	Name string
+}
+
+// ChanKind distinguishes the four UPPAAL synchronization disciplines.
+type ChanKind int
+
+const (
+	// Binary channels pair exactly one emitter with one receiver.
+	Binary ChanKind = iota
+	// BinaryUrgent channels are binary and additionally forbid delay
+	// whenever a matching emit/receive pair is enabled.
+	BinaryUrgent
+	// Broadcast channels pair one emitter with every process whose receive
+	// edge is enabled (possibly none).
+	Broadcast
+	// BroadcastUrgent channels are broadcast and forbid delay whenever an
+	// emit edge is enabled. This is the "hurry!" pattern of the paper.
+	BroadcastUrgent
+)
+
+func (k ChanKind) String() string {
+	switch k {
+	case Binary:
+		return "chan"
+	case BinaryUrgent:
+		return "urgent chan"
+	case Broadcast:
+		return "broadcast chan"
+	case BroadcastUrgent:
+		return "urgent broadcast chan"
+	}
+	return "?chan"
+}
+
+// Urgent reports whether the channel kind forbids delay when enabled.
+func (k ChanKind) Urgent() bool { return k == BinaryUrgent || k == BroadcastUrgent }
+
+// IsBroadcast reports whether the channel kind is a broadcast discipline.
+func (k ChanKind) IsBroadcast() bool { return k == Broadcast || k == BroadcastUrgent }
+
+// Channel is a named handle to a synchronization channel.
+type Channel struct {
+	ID   ChanID
+	Kind ChanKind
+	Name string
+}
+
+// SyncDir is the direction of an edge's synchronization action.
+type SyncDir int
+
+const (
+	// Tau marks an internal edge without synchronization.
+	Tau SyncDir = iota
+	// Emit marks a sending edge (c!).
+	Emit
+	// Recv marks a receiving edge (c?).
+	Recv
+)
+
+// Sync describes the synchronization label of an edge.
+type Sync struct {
+	Chan ChanID
+	Dir  SyncDir
+}
+
+// NoSync is the synchronization label of an internal edge.
+var NoSync = Sync{Dir: Tau}
+
+// LocKind classifies locations by their delay discipline.
+type LocKind int
+
+const (
+	// Normal locations allow time to pass subject to the invariant.
+	Normal LocKind = iota
+	// UrgentLoc locations forbid delay while any process resides in them.
+	UrgentLoc
+	// Committed locations forbid delay and force the next transition to
+	// leave a committed location.
+	Committed
+)
+
+func (k LocKind) String() string {
+	switch k {
+	case Normal:
+		return "normal"
+	case UrgentLoc:
+		return "urgent"
+	case Committed:
+		return "committed"
+	}
+	return "?loc"
+}
+
+// Location is a node of one process graph.
+type Location struct {
+	Name      string
+	Kind      LocKind
+	Invariant []Constraint // conjunction of upper bounds on clocks
+}
+
+// Reset sets one clock to a nonnegative integer constant when an edge fires.
+type Reset struct {
+	Clock ClockID
+	Value int64
+}
+
+// Edge is a transition of one process.
+type Edge struct {
+	Src, Dst   LocID
+	Guard      Guard        // data guard over integer variables; nil means true
+	ClockGuard []Constraint // conjunction of clock constraints; nil means true
+	Sync       Sync
+	Resets     []Reset
+	// Frees lists clocks whose value becomes unconstrained when the edge
+	// fires. This is an active-clock reduction: freeing a clock that no
+	// guard or invariant reads before its next reset does not change any
+	// observable behavior but lets the passed list merge zones that differ
+	// only in that clock. The compiler uses it for the measuring observer's
+	// response-time clock between measurements.
+	Frees  []ClockID
+	Update Update // variable update; nil means skip
+}
+
+// Process is one component automaton of the network.
+type Process struct {
+	Name      string
+	Locations []Location
+	Edges     []Edge
+	Init      LocID
+
+	// outEdges[l] lists indices into Edges with Src == l; built by Finalize.
+	outEdges [][]int
+}
+
+// AddLocation appends a location and returns its ID.
+func (p *Process) AddLocation(name string, kind LocKind, invariant ...Constraint) LocID {
+	p.Locations = append(p.Locations, Location{Name: name, Kind: kind, Invariant: invariant})
+	return LocID(len(p.Locations) - 1)
+}
+
+// AddEdge appends an edge between previously added locations.
+func (p *Process) AddEdge(e Edge) {
+	p.Edges = append(p.Edges, e)
+}
+
+// OutEdges returns the indices of the edges leaving location l. Valid only
+// after Network.Finalize.
+func (p *Process) OutEdges(l LocID) []int { return p.outEdges[l] }
+
+// VarDecl describes one bounded integer variable.
+type VarDecl struct {
+	Name     string
+	Init     int64
+	Min, Max int64
+}
+
+// Network is a closed system of processes sharing clocks, variables, and
+// channels.
+type Network struct {
+	Name   string
+	Clocks []Clock // Clocks[0] is the reference clock
+	Vars   []VarDecl
+	Chans  []Channel
+	Procs  []*Process
+
+	// MaxConsts[c] is the maximal constant clock c is compared against in
+	// any guard or invariant (plus any extra registered via
+	// EnsureMaxConst); computed by Finalize and consumed by extrapolation.
+	MaxConsts []int64
+	// LowerConsts[c] / UpperConsts[c] split MaxConsts by the side of the
+	// comparison, enabling the coarser Extra_LU abstraction: LowerConsts
+	// covers guards bounding c from below (c > k, c >= k), UpperConsts
+	// covers upper bounds and invariants (c < k, c <= k).
+	LowerConsts []int64
+	UpperConsts []int64
+
+	finalized bool
+}
+
+// NewNetwork returns an empty network with the implicit reference clock.
+func NewNetwork(name string) *Network {
+	return &Network{
+		Name:   name,
+		Clocks: []Clock{{ID: 0, Name: "t0"}},
+	}
+}
+
+// AddClock declares a clock and returns its handle.
+func (n *Network) AddClock(name string) Clock {
+	c := Clock{ID: ClockID(len(n.Clocks)), Name: name}
+	n.Clocks = append(n.Clocks, c)
+	return c
+}
+
+// AddVar declares a bounded integer variable with the given initial value and
+// inclusive range.
+func (n *Network) AddVar(name string, init, min, max int64) IntVar {
+	n.Vars = append(n.Vars, VarDecl{Name: name, Init: init, Min: min, Max: max})
+	return IntVar{ID: VarID(len(n.Vars) - 1), Name: name}
+}
+
+// AddChan declares a synchronization channel.
+func (n *Network) AddChan(name string, kind ChanKind) Channel {
+	c := Channel{ID: ChanID(len(n.Chans)), Kind: kind, Name: name}
+	n.Chans = append(n.Chans, c)
+	return c
+}
+
+// AddProcess declares a new empty process and returns it for population.
+func (n *Network) AddProcess(name string) *Process {
+	p := &Process{Name: name}
+	n.Procs = append(n.Procs, p)
+	return p
+}
+
+// NumClocks returns the clock count including the reference clock, i.e. the
+// DBM dimension of the network.
+func (n *Network) NumClocks() int { return len(n.Clocks) }
+
+// InitialVars returns a fresh valuation holding every variable's initial
+// value.
+func (n *Network) InitialVars() []int64 {
+	v := make([]int64, len(n.Vars))
+	for i, d := range n.Vars {
+		v[i] = d.Init
+	}
+	return v
+}
+
+// EnsureMaxConst raises the recorded maximal constant of clock c to at least
+// k on both comparison sides. Callers measuring sup values of a clock (e.g.
+// WCRT observers) must register their observation horizon here before
+// Finalize, otherwise extrapolation may abstract the bound away.
+func (n *Network) EnsureMaxConst(c ClockID, k int64) {
+	for int(c) >= len(n.MaxConsts) {
+		n.MaxConsts = append(n.MaxConsts, 0)
+		n.LowerConsts = append(n.LowerConsts, 0)
+		n.UpperConsts = append(n.UpperConsts, 0)
+	}
+	if k > n.MaxConsts[c] {
+		n.MaxConsts[c] = k
+	}
+	if k > n.LowerConsts[c] {
+		n.LowerConsts[c] = k
+	}
+	if k > n.UpperConsts[c] {
+		n.UpperConsts[c] = k
+	}
+}
+
+// ProcByName returns the process with the given name, or nil.
+func (n *Network) ProcByName(name string) *Process {
+	for _, p := range n.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// LocByName returns the location ID with the given name in process p, or -1.
+func (p *Process) LocByName(name string) LocID {
+	for i, l := range p.Locations {
+		if l.Name == name {
+			return LocID(i)
+		}
+	}
+	return -1
+}
+
+// String renders a summary of the network for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("network %s: %d clocks, %d vars, %d chans, %d procs",
+		n.Name, len(n.Clocks)-1, len(n.Vars), len(n.Chans), len(n.Procs))
+}

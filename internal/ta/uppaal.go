@@ -1,0 +1,231 @@
+package ta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UPPAALXML renders the network in UPPAAL's 4.x XML input format, so models
+// built or compiled with this package can be opened and cross-checked in
+// the actual tool the paper used.
+//
+// Notes on fidelity:
+//   - Names are sanitized to UPPAAL identifiers (dots become underscores,
+//     collisions get numeric suffixes).
+//   - Clock-free edges (the active-clock reduction) have no UPPAAL
+//     counterpart; they are exported without the free, which preserves the
+//     semantics exactly (freeing only merges zones, it never changes
+//     behavior).
+//   - Dynamic clock bounds (x <= D) export verbatim; UPPAAL accepts integer
+//     variables in clock constraints.
+func (n *Network) UPPAALXML() string {
+	names := newSanitizer()
+	clockName := make([]string, len(n.Clocks))
+	for i, c := range n.Clocks {
+		if i == 0 {
+			continue
+		}
+		clockName[i] = names.pick(c.Name)
+	}
+	varName := make([]string, len(n.Vars))
+	for i, v := range n.Vars {
+		varName[i] = names.pick(v.Name)
+	}
+	chanName := make([]string, len(n.Chans))
+	for i, c := range n.Chans {
+		chanName[i] = names.pick(c.Name)
+	}
+	procName := make([]string, len(n.Procs))
+	for i, p := range n.Procs {
+		procName[i] = names.pick(p.Name)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n")
+	sb.WriteString("<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' 'http://www.it.uu.se/research/group/darts/uppaal/flat-1_1.dtd'>\n")
+	sb.WriteString("<nta>\n  <declaration>\n")
+	if len(n.Clocks) > 1 {
+		sb.WriteString("    clock " + strings.Join(clockName[1:], ", ") + ";\n")
+	}
+	for i, v := range n.Vars {
+		fmt.Fprintf(&sb, "    int[%d,%d] %s = %d;\n", v.Min, v.Max, varName[i], v.Init)
+	}
+	for i, c := range n.Chans {
+		prefix := ""
+		switch c.Kind {
+		case BinaryUrgent:
+			prefix = "urgent "
+		case Broadcast:
+			prefix = "broadcast "
+		case BroadcastUrgent:
+			prefix = "urgent broadcast "
+		}
+		fmt.Fprintf(&sb, "    %schan %s;\n", prefix, chanName[i])
+	}
+	sb.WriteString("  </declaration>\n")
+
+	rename := renamer{clockName: clockName, varName: varName}
+	for pi, p := range n.Procs {
+		fmt.Fprintf(&sb, "  <template>\n    <name>%s</name>\n", procName[pi])
+		locName := make([]string, len(p.Locations))
+		locNames := newSanitizer()
+		for li, l := range p.Locations {
+			locName[li] = locNames.pick(l.Name)
+			fmt.Fprintf(&sb, "    <location id=\"id%d_%d\">\n      <name>%s</name>\n",
+				pi, li, locName[li])
+			if len(l.Invariant) > 0 {
+				var parts []string
+				for _, c := range l.Invariant {
+					parts = append(parts, rename.constraint(n, c))
+				}
+				fmt.Fprintf(&sb, "      <label kind=\"invariant\">%s</label>\n",
+					xmlEscape(strings.Join(parts, " && ")))
+			}
+			switch l.Kind {
+			case UrgentLoc:
+				sb.WriteString("      <urgent/>\n")
+			case Committed:
+				sb.WriteString("      <committed/>\n")
+			}
+			sb.WriteString("    </location>\n")
+		}
+		fmt.Fprintf(&sb, "    <init ref=\"id%d_%d\"/>\n", pi, p.Init)
+		for _, e := range p.Edges {
+			sb.WriteString("    <transition>\n")
+			fmt.Fprintf(&sb, "      <source ref=\"id%d_%d\"/>\n      <target ref=\"id%d_%d\"/>\n",
+				pi, e.Src, pi, e.Dst)
+			var guards []string
+			if e.Guard != nil {
+				guards = append(guards, rename.rewrite(n, e.Guard.String()))
+			}
+			for _, c := range e.ClockGuard {
+				guards = append(guards, rename.constraint(n, c))
+			}
+			if len(guards) > 0 {
+				fmt.Fprintf(&sb, "      <label kind=\"guard\">%s</label>\n",
+					xmlEscape(strings.Join(guards, " && ")))
+			}
+			if e.Sync.Dir != Tau {
+				mark := "!"
+				if e.Sync.Dir == Recv {
+					mark = "?"
+				}
+				fmt.Fprintf(&sb, "      <label kind=\"synchronisation\">%s%s</label>\n",
+					xmlEscape(chanName[e.Sync.Chan]), mark)
+			}
+			var assigns []string
+			if e.Update != nil {
+				assigns = append(assigns, rename.rewrite(n, e.Update.String()))
+			}
+			for _, r := range e.Resets {
+				assigns = append(assigns, fmt.Sprintf("%s = %d", clockName[r.Clock], r.Value))
+			}
+			if len(assigns) > 0 {
+				fmt.Fprintf(&sb, "      <label kind=\"assignment\">%s</label>\n",
+					xmlEscape(strings.Join(assigns, ", ")))
+			}
+			sb.WriteString("    </transition>\n")
+		}
+		sb.WriteString("  </template>\n")
+	}
+	sb.WriteString("  <system>\n    system " + strings.Join(procName, ", ") + ";\n  </system>\n</nta>\n")
+	return sb.String()
+}
+
+// sanitizer maps arbitrary names to unique UPPAAL identifiers.
+type sanitizer struct {
+	used map[string]bool
+}
+
+func newSanitizer() *sanitizer { return &sanitizer{used: map[string]bool{}} }
+
+func (s *sanitizer) pick(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	id := b.String()
+	if id == "" {
+		id = "_"
+	}
+	if !s.used[id] {
+		s.used[id] = true
+		return id
+	}
+	for k := 2; ; k++ {
+		cand := fmt.Sprintf("%s_%d", id, k)
+		if !s.used[cand] {
+			s.used[cand] = true
+			return cand
+		}
+	}
+}
+
+// renamer rewrites clock/variable occurrences in rendered expressions to
+// their sanitized spellings. Our String() forms reference original names,
+// which may contain dots; a longest-first textual replacement is exact here
+// because all names are identifier-shaped tokens.
+type renamer struct {
+	clockName []string
+	varName   []string
+}
+
+func (r renamer) rewrite(n *Network, s string) string {
+	dict := map[string]string{}
+	for i, c := range n.Clocks {
+		if i > 0 {
+			dict[c.Name] = r.clockName[i]
+		}
+	}
+	for i, v := range n.Vars {
+		dict[v.Name] = r.varName[i]
+	}
+	// Single-pass token replacement: identifiers (including dotted names)
+	// are looked up whole, so one rename can never feed another.
+	var out strings.Builder
+	i := 0
+	isTok := func(b byte) bool {
+		return b == '_' || b == '.' ||
+			(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+	}
+	for i < len(s) {
+		if !isTok(s[i]) {
+			out.WriteByte(s[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && isTok(s[j]) {
+			j++
+		}
+		tok := s[i:j]
+		if to, ok := dict[tok]; ok {
+			out.WriteString(to)
+		} else {
+			out.WriteString(tok)
+		}
+		i = j
+	}
+	return out.String()
+}
+
+func (r renamer) constraint(n *Network, c Constraint) string {
+	return r.rewrite(n, n.constraintString(c))
+}
+
+func xmlEscape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,87 @@
+package ta
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestUPPAALXMLWellFormed(t *testing.T) {
+	n := buildFig4Like(t)
+	out := n.UPPAALXML()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("exported XML is not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{
+		"<nta>", "urgent broadcast chan hurry;", "broadcast chan notice_audible_change1;",
+		"int[0,4] setvolume = 0;", "clock x;",
+		"<name>RAD</name>", "<name>idle</name>",
+		`<label kind="invariant">x&lt;=9</label>`,
+		`<label kind="guard">setvolume &gt; 0</label>`,
+		`<label kind="synchronisation">hurry!</label>`,
+		"system RAD;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("UPPAAL export missing %q", want)
+		}
+	}
+}
+
+func TestUPPAALXMLSanitizesNames(t *testing.T) {
+	n := NewNetwork("dots")
+	x := n.AddClock("TMC.env.x")
+	v := n.AddVar("TMC.HandleTMC.q", 0, 0, 4)
+	p := n.AddProcess("ENV_TMC")
+	l := p.AddLocation("tick", Normal, CLE(x, 10))
+	p.AddEdge(Edge{Src: l, Dst: l, ClockGuard: CEq(x, 10),
+		Guard:  VarCmp(v, Lt, 4),
+		Resets: []Reset{{x.ID, 0}}, Update: Inc(v, 1)})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	out := n.UPPAALXML()
+	if strings.Contains(out, "TMC.env.x") || strings.Contains(out, "TMC.HandleTMC.q") {
+		t.Error("dotted names must be sanitized")
+	}
+	for _, want := range []string{
+		"clock TMC_env_x;", "int[0,4] TMC_HandleTMC_q = 0;",
+		`<label kind="guard">TMC_HandleTMC_q &lt; 4 &amp;&amp; TMC_env_x&lt;=10 &amp;&amp; TMC_env_x&gt;=10</label>`,
+		`<label kind="assignment">TMC_HandleTMC_q++, TMC_env_x = 0</label>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("UPPAAL export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestUPPAALXMLKindsAndCollisions(t *testing.T) {
+	n := NewNetwork("kinds")
+	d := n.AddVar("D", 5, 0, 9)
+	x := n.AddClock("a.b")
+	n.AddClock("a_b") // collides with the sanitized form of a.b
+	p := n.AddProcess("P")
+	u := p.AddLocation("u", UrgentLoc)
+	c := p.AddLocation("c", Committed, CLEVar(x, d))
+	p.AddEdge(Edge{Src: u, Dst: c})
+	p.AddEdge(Edge{Src: c, Dst: u})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	out := n.UPPAALXML()
+	if !strings.Contains(out, "<urgent/>") || !strings.Contains(out, "<committed/>") {
+		t.Error("location kinds must be exported")
+	}
+	if !strings.Contains(out, "a_b_2") {
+		t.Error("name collision must get a numeric suffix")
+	}
+	if !strings.Contains(out, "a_b&lt;=D") {
+		t.Errorf("dynamic invariant must export verbatim:\n%s", out)
+	}
+}

@@ -1,0 +1,209 @@
+package ta
+
+import (
+	"fmt"
+)
+
+// Finalize validates the network and precomputes per-location edge indices
+// and the maximal clock constants used by zone extrapolation. It must be
+// called exactly once, after the model is fully built and before analysis.
+func (n *Network) Finalize() error {
+	if n.finalized {
+		return fmt.Errorf("ta: network %s already finalized", n.Name)
+	}
+	if len(n.Procs) == 0 {
+		return fmt.Errorf("ta: network %s has no processes", n.Name)
+	}
+	// Grow the constant tables to the clock count, preserving entries
+	// registered via EnsureMaxConst.
+	for len(n.MaxConsts) < len(n.Clocks) {
+		n.MaxConsts = append(n.MaxConsts, 0)
+	}
+	for len(n.LowerConsts) < len(n.Clocks) {
+		n.LowerConsts = append(n.LowerConsts, 0)
+	}
+	for len(n.UpperConsts) < len(n.Clocks) {
+		n.UpperConsts = append(n.UpperConsts, 0)
+	}
+
+	for pi, p := range n.Procs {
+		if len(p.Locations) == 0 {
+			return fmt.Errorf("ta: process %s has no locations", p.Name)
+		}
+		if int(p.Init) >= len(p.Locations) || p.Init < 0 {
+			return fmt.Errorf("ta: process %s has invalid initial location %d", p.Name, p.Init)
+		}
+		p.outEdges = make([][]int, len(p.Locations))
+		for li, l := range p.Locations {
+			for _, c := range l.Invariant {
+				if err := n.checkConstraint(c); err != nil {
+					return fmt.Errorf("ta: invariant of %s.%s: %w", p.Name, l.Name, err)
+				}
+				// Only upper bounds on single clocks are admitted as
+				// invariants (as in UPPAAL); this is what makes the
+				// delay-then-intersect zone computation exact.
+				if c.J != 0 || c.I == 0 {
+					return fmt.Errorf("ta: invariant of %s.%s is not an upper bound: %s",
+						p.Name, l.Name, c)
+				}
+				if !c.VarBound && c.Bound.Value() < 0 {
+					return fmt.Errorf("ta: invariant of %s.%s has negative upper bound %s",
+						p.Name, l.Name, c)
+				}
+				if err := n.recordConst(c); err != nil {
+					return fmt.Errorf("ta: invariant of %s.%s: %w", p.Name, l.Name, err)
+				}
+			}
+			_ = li
+		}
+		for ei := range p.Edges {
+			e := &p.Edges[ei]
+			if int(e.Src) >= len(p.Locations) || int(e.Dst) >= len(p.Locations) || e.Src < 0 || e.Dst < 0 {
+				return fmt.Errorf("ta: process %s edge %d references unknown location", p.Name, ei)
+			}
+			for _, c := range e.ClockGuard {
+				if err := n.checkConstraint(c); err != nil {
+					return fmt.Errorf("ta: guard of %s edge %d: %w", p.Name, ei, err)
+				}
+				if err := n.recordConst(c); err != nil {
+					return fmt.Errorf("ta: guard of %s edge %d: %w", p.Name, ei, err)
+				}
+			}
+			for _, c := range e.Frees {
+				if int(c) <= 0 || int(c) >= len(n.Clocks) {
+					return fmt.Errorf("ta: process %s edge %d frees unknown clock %d", p.Name, ei, c)
+				}
+			}
+			for _, r := range e.Resets {
+				if int(r.Clock) <= 0 || int(r.Clock) >= len(n.Clocks) {
+					return fmt.Errorf("ta: process %s edge %d resets unknown clock %d", p.Name, ei, r.Clock)
+				}
+				if r.Value < 0 {
+					return fmt.Errorf("ta: process %s edge %d resets clock to negative value", p.Name, ei)
+				}
+				if r.Value > n.MaxConsts[r.Clock] {
+					n.MaxConsts[r.Clock] = r.Value
+				}
+				if r.Value > n.UpperConsts[r.Clock] {
+					n.UpperConsts[r.Clock] = r.Value
+				}
+				if r.Value > n.LowerConsts[r.Clock] {
+					n.LowerConsts[r.Clock] = r.Value
+				}
+			}
+			switch e.Sync.Dir {
+			case Tau:
+			case Emit, Recv:
+				if int(e.Sync.Chan) < 0 || int(e.Sync.Chan) >= len(n.Chans) {
+					return fmt.Errorf("ta: process %s edge %d uses unknown channel", p.Name, ei)
+				}
+				ch := n.Chans[e.Sync.Chan]
+				// UPPAAL forbids clock guards on urgent channel edges
+				// (urgency could not be decided per zone) and on broadcast
+				// receivers (maximal participation would split zones).
+				if ch.Kind.Urgent() && len(e.ClockGuard) > 0 {
+					return fmt.Errorf("ta: process %s edge %d synchronizes on urgent channel %s with a clock guard",
+						p.Name, ei, ch.Name)
+				}
+				if ch.Kind.IsBroadcast() && e.Sync.Dir == Recv && len(e.ClockGuard) > 0 {
+					return fmt.Errorf("ta: process %s edge %d receives on broadcast channel %s with a clock guard",
+						p.Name, ei, ch.Name)
+				}
+			default:
+				return fmt.Errorf("ta: process %s edge %d has invalid sync direction", p.Name, ei)
+			}
+			_ = pi
+			p.outEdges[e.Src] = append(p.outEdges[e.Src], ei)
+		}
+	}
+	for _, v := range n.Vars {
+		if v.Min > v.Max {
+			return fmt.Errorf("ta: variable %s has empty range [%d,%d]", v.Name, v.Min, v.Max)
+		}
+		if v.Init < v.Min || v.Init > v.Max {
+			return fmt.Errorf("ta: variable %s initial value %d outside [%d,%d]",
+				v.Name, v.Init, v.Min, v.Max)
+		}
+	}
+	n.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has completed successfully.
+func (n *Network) Finalized() bool { return n.finalized }
+
+func (n *Network) checkConstraint(c Constraint) error {
+	if int(c.I) < 0 || int(c.I) >= len(n.Clocks) || int(c.J) < 0 || int(c.J) >= len(n.Clocks) {
+		return fmt.Errorf("constraint %s references unknown clock", c)
+	}
+	if c.I == c.J {
+		return fmt.Errorf("constraint %s compares a clock with itself", c)
+	}
+	return nil
+}
+
+// recordConst folds the constraint's constant into the per-clock constant
+// tables used by extrapolation. A constraint xI - xJ ≺ c bounds xI from
+// above (upper constant of I) and xJ from below (lower constant of J).
+// Dynamic bounds contribute the largest magnitude their variable's declared
+// range admits.
+func (n *Network) recordConst(c Constraint) error {
+	var v int64
+	if c.VarBound {
+		if int(c.Var) < 0 || int(c.Var) >= len(n.Vars) {
+			return fmt.Errorf("dynamic bound references unknown variable %d", c.Var)
+		}
+		d := n.Vars[c.Var]
+		lo := c.Coef*d.Min + c.Offset
+		hi := c.Coef*d.Max + c.Offset
+		v = max64(abs64(lo), abs64(hi))
+	} else {
+		v = abs64(c.Bound.Value())
+	}
+	if c.I != 0 {
+		if v > n.MaxConsts[c.I] {
+			n.MaxConsts[c.I] = v
+		}
+		if v > n.UpperConsts[c.I] {
+			n.UpperConsts[c.I] = v
+		}
+	}
+	if c.J != 0 {
+		if v > n.MaxConsts[c.J] {
+			n.MaxConsts[c.J] = v
+		}
+		if v > n.LowerConsts[c.J] {
+			n.LowerConsts[c.J] = v
+		}
+	}
+	return nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CheckVarBounds verifies that valuation v respects every variable's declared
+// range, returning a descriptive error for the first violation. The explorer
+// calls this after each update so modeling errors (e.g. the unbounded
+// preemption accumulation the paper warns about) surface as analysis errors
+// rather than silent wraparound.
+func (n *Network) CheckVarBounds(v []int64) error {
+	for i, d := range n.Vars {
+		if v[i] < d.Min || v[i] > d.Max {
+			return fmt.Errorf("ta: variable %s = %d outside declared range [%d,%d]",
+				d.Name, v[i], d.Min, d.Max)
+		}
+	}
+	return nil
+}

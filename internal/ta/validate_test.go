@@ -1,0 +1,94 @@
+package ta
+
+import "testing"
+
+func TestFinalizeRejectsLowerBoundInvariant(t *testing.T) {
+	n := NewNetwork("x")
+	x := n.AddClock("x")
+	p := n.AddProcess("P")
+	p.AddLocation("bad", Normal, CGE(x, 2))
+	if err := n.Finalize(); err == nil {
+		t.Error("lower-bound invariant must be rejected")
+	}
+}
+
+func TestFinalizeRejectsDiagonalInvariant(t *testing.T) {
+	n := NewNetwork("x")
+	x := n.AddClock("x")
+	y := n.AddClock("y")
+	p := n.AddProcess("P")
+	p.AddLocation("bad", Normal, DiffLE(x, y, 3))
+	if err := n.Finalize(); err == nil {
+		t.Error("diagonal invariant must be rejected")
+	}
+}
+
+func TestFinalizeRejectsUrgentRecvClockGuard(t *testing.T) {
+	n := NewNetwork("x")
+	x := n.AddClock("x")
+	c := n.AddChan("u", BinaryUrgent)
+	p := n.AddProcess("P")
+	l := p.AddLocation("idle", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, ClockGuard: []Constraint{CGE(x, 1)},
+		Sync: Sync{Chan: c.ID, Dir: Recv}})
+	if err := n.Finalize(); err == nil {
+		t.Error("clock guard on urgent receive must be rejected")
+	}
+}
+
+func TestFinalizeRejectsBroadcastRecvClockGuard(t *testing.T) {
+	n := NewNetwork("x")
+	x := n.AddClock("x")
+	c := n.AddChan("b", Broadcast)
+	p := n.AddProcess("P")
+	l := p.AddLocation("idle", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, ClockGuard: []Constraint{CGE(x, 1)},
+		Sync: Sync{Chan: c.ID, Dir: Recv}})
+	if err := n.Finalize(); err == nil {
+		t.Error("clock guard on broadcast receive must be rejected")
+	}
+}
+
+func TestFinalizeAcceptsBroadcastEmitClockGuard(t *testing.T) {
+	n := NewNetwork("x")
+	x := n.AddClock("x")
+	c := n.AddChan("b", Broadcast)
+	p := n.AddProcess("P")
+	l := p.AddLocation("idle", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, ClockGuard: []Constraint{CGE(x, 1)},
+		Sync: Sync{Chan: c.ID, Dir: Emit}})
+	if err := n.Finalize(); err != nil {
+		t.Errorf("non-urgent broadcast emit with clock guard must be allowed: %v", err)
+	}
+}
+
+func TestFinalizeRejectsUnknownChannel(t *testing.T) {
+	n := NewNetwork("x")
+	p := n.AddProcess("P")
+	l := p.AddLocation("idle", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, Sync: Sync{Chan: 9, Dir: Emit}})
+	if err := n.Finalize(); err == nil {
+		t.Error("unknown channel must be rejected")
+	}
+}
+
+func TestFinalizeRejectsNegativeReset(t *testing.T) {
+	n := NewNetwork("x")
+	x := n.AddClock("x")
+	p := n.AddProcess("P")
+	l := p.AddLocation("idle", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, Resets: []Reset{{x.ID, -1}}})
+	if err := n.Finalize(); err == nil {
+		t.Error("negative reset value must be rejected")
+	}
+}
+
+func TestFinalizeRejectsResetOfReferenceClock(t *testing.T) {
+	n := NewNetwork("x")
+	p := n.AddProcess("P")
+	l := p.AddLocation("idle", Normal)
+	p.AddEdge(Edge{Src: l, Dst: l, Resets: []Reset{{0, 0}}})
+	if err := n.Finalize(); err == nil {
+		t.Error("reset of the reference clock must be rejected")
+	}
+}
