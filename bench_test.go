@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -113,6 +114,25 @@ func BenchmarkTable2_UppaalPNO(b *testing.B) {
 	sys, req := table2System()
 	for i := 0; i < b.N; i++ {
 		if _, err := arch.AnalyzeWCRT(sys, req, arch.Options{HorizonMS: 500}, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_UppaalPNO_Parallel runs the same Table 2 row on the
+// work-stealing explorer with Workers = NumCPU, the acceptance comparison
+// for the parallel engine. On single-core hosts Workers is floored at 2 so
+// the parallel machinery (deques, sharded store, termination barrier) is
+// actually exercised rather than silently routed to the sequential path.
+func BenchmarkTable2_UppaalPNO_Parallel(b *testing.B) {
+	sys, req := table2System()
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.AnalyzeWCRT(sys, req, arch.Options{HorizonMS: 500},
+			core.Options{Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -38,6 +38,7 @@ func main() {
 		dot        = flag.Bool("dot", false, "print the compiled timed-automata network as Graphviz DOT and exit")
 		uppaal     = flag.Bool("uppaal", false, "print the compiled network as UPPAAL 4.x XML and exit")
 		deploy     = flag.Bool("deploy", false, "print the deployment diagram (Figure 1 style) as Graphviz DOT and exit")
+		workers    = flag.Int("workers", 1, "parallel exploration workers for trace-free queries (uppaal engine)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -102,7 +103,7 @@ func main() {
 		for _, req := range reqs {
 			res, err := arch.AnalyzeWCRT(sys, req,
 				arch.Options{HorizonMS: *horizon},
-				core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates})
+				core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates, Workers: *workers})
 			if err != nil {
 				fatal(err)
 			}

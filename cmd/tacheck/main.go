@@ -62,6 +62,10 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.MaxStates = *maxStates
+	// Routing between the sequential and parallel explorer happens inside
+	// core (Options.parallelism): trace-free queries honor Workers, trace
+	// queries run sequentially.
+	opts.Workers = *workers
 
 	parseNet := func() *ta.Network {
 		net, err := ta.Parse(string(data))
@@ -138,12 +142,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var res core.SupResult
-		if *workers > 1 {
-			res, err = checker.SupClockParallel(clock.ID, pred, opts, *workers)
-		} else {
-			res, err = checker.SupClock(clock.ID, pred, opts)
-		}
+		res, err := checker.SupClock(clock.ID, pred, opts)
 		if err != nil {
 			fatal(err)
 		}

@@ -2,10 +2,23 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dbm"
 	"repro/internal/ta"
 )
+
+// parallelism is the single place Options.Workers is interpreted for the
+// trace-free query kinds (SupClock, MaxVar): it reports whether to run on
+// the parallel explorer and with how many workers. Trace-producing queries
+// never consult it — trace reconstruction requires the arena only the
+// sequential Explore maintains, so they call Explore directly.
+func (o Options) parallelism() (workers int, parallel bool) {
+	if o.Workers <= 1 {
+		return 1, false
+	}
+	return o.Workers, true
+}
 
 // Property is a state predicate to be verified invariantly (AG Holds).
 type Property struct {
@@ -60,7 +73,8 @@ type SupResult struct {
 	// lies beyond the registered maximal constant (observation horizon).
 	Unbounded bool
 	// Witness is a trace to the state realizing Max (or the first unbounded
-	// state).
+	// state). It is nil when the query ran on the parallel explorer
+	// (Options.Workers > 1), which does not reconstruct traces.
 	Witness []TraceStep
 }
 
@@ -73,8 +87,8 @@ type SupResult struct {
 // The clock's maximal constant (ta.Network.EnsureMaxConst) must be at least
 // the largest value of interest; beyond it the result degrades to Unbounded.
 func (c *Checker) SupClock(clock ta.ClockID, cond func(*State) bool, opts Options) (SupResult, error) {
-	if opts.Workers > 1 {
-		return c.SupClockParallel(clock, cond, opts, opts.Workers)
+	if w, par := opts.parallelism(); par {
+		return c.SupClockParallel(clock, cond, opts, w)
 	}
 	out := SupResult{Max: dbm.LT(0)}
 	res, err := c.Explore(opts, func(s *State) bool {
@@ -226,7 +240,7 @@ type MaxVarResult struct {
 // quantity the paper's Section 3.1 asks to bound before model checking.
 func (c *Checker) MaxVar(v ta.VarID, cond func(*State) bool, opts Options) (MaxVarResult, error) {
 	out := MaxVarResult{Max: -1 << 62, Min: 1<<62 - 1}
-	res, err := c.Explore(opts, func(s *State) bool {
+	visit := func(s *State) bool {
 		if cond != nil && !cond(s) {
 			return false
 		}
@@ -238,7 +252,21 @@ func (c *Checker) MaxVar(v ta.VarID, cond func(*State) bool, opts Options) (MaxV
 			out.Min = s.Vars[v]
 		}
 		return false
-	})
+	}
+	var res ExploreResult
+	var err error
+	if w, par := opts.parallelism(); par {
+		// Wrap the visitor in a lock only on the concurrent path; the
+		// sequential hot loop stays lock-free.
+		var mu sync.Mutex
+		res, err = c.ExploreParallel(opts, w, func(s *State) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return visit(s)
+		})
+	} else {
+		res, err = c.Explore(opts, visit)
+	}
 	if err != nil {
 		return out, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,11 +13,16 @@ import (
 
 // pstore is a concurrent passed-state store: the bucket space is sharded and
 // each shard carries its own lock, so workers exploring disjoint regions of
-// the zone graph rarely contend.
+// the zone graph rarely contend. Zone ownership follows the same protocol as
+// the sequential store (see store.go): stored zones are pool-backed copies
+// owned exclusively by the pstore, so pruned zones can be recycled into the
+// calling worker's pool even while the pruned state is still queued in some
+// deque.
 type pstore struct {
 	shards [64]struct {
 		mu      sync.Mutex
 		buckets map[uint64][]*storeEntry
+		_       [48]byte // pad to its own cache line against false sharing
 	}
 	zones atomic.Int64
 }
@@ -30,48 +36,37 @@ func newPStore() *pstore {
 }
 
 // Add inserts the state unless it is subsumed, reporting whether it is new.
-// The subsumption logic mirrors store.Add under the shard lock.
-func (st *pstore) Add(s *State) bool {
-	h := discreteHash(s.Locs, s.Vars)
-	sh := &st.shards[h%64]
+// The subsumption logic mirrors store.Add under the shard lock. pool is the
+// calling worker's pool: the stored copy is drawn from it and pruned zones
+// are released into it (pools are single-owner, so this is safe even though
+// the shard lock is shared).
+func (st *pstore) Add(s *State, pool *dbm.Pool) bool {
+	sh := &st.shards[s.discreteKey()%64]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	bucket := sh.buckets[h]
-	var entry *storeEntry
-	for _, e := range bucket {
-		if len(e.locs) == len(s.Locs) && len(e.vars) == len(s.Vars) &&
-			discreteEqual(e.locs, s.Locs, e.vars, s.Vars) {
-			entry = e
-			break
-		}
+	delta, admitted := lookupEntry(sh.buckets, s).admit(s, pool)
+	sh.mu.Unlock()
+	if delta != 0 {
+		st.zones.Add(int64(delta))
 	}
-	if entry == nil {
-		entry = &storeEntry{locs: s.Locs, vars: s.Vars}
-		sh.buckets[h] = append(sh.buckets[h], entry)
-	}
-	for _, z := range entry.zones {
-		if s.Zone.SubsetEq(z) {
-			return false
-		}
-	}
-	keep := entry.zones[:0]
-	for _, z := range entry.zones {
-		if !z.SubsetEq(s.Zone) {
-			keep = append(keep, z)
-		} else {
-			st.zones.Add(-1)
-		}
-	}
-	entry.zones = append(keep, s.Zone)
-	st.zones.Add(1)
-	return true
+	return admitted
 }
 
+// Len returns the number of stored maximal zones.
+func (st *pstore) Len() int { return int(st.zones.Load()) }
+
 // ExploreParallel performs the same symbolic reachability as Explore using
-// several worker goroutines over a shared work list and a sharded passed
-// store. It trades the sequential explorer's trace reconstruction for
+// work-stealing worker goroutines and a sharded passed store. Each worker
+// owns a Chase–Lev deque (LIFO expansion, FIFO steals) plus its own
+// successor scratch state and DBM pool, so the only shared mutable
+// structures are the sharded pstore, the deques, and a handful of atomic
+// counters. It trades the sequential explorer's trace reconstruction for
 // throughput: the result carries statistics and the stop state, but no
-// trace. The visitor must be safe for concurrent use.
+// trace.
+//
+// The visitor must be safe for concurrent use and must not retain the
+// state (or its zone) beyond the call: zones of expanded states are
+// recycled. The state the search stops at (FoundState) is exempt and
+// remains valid.
 //
 // Subsumption remains sound under concurrency: a state admitted by two
 // workers simultaneously is expanded at most twice (harmless), never lost.
@@ -86,14 +81,26 @@ func (c *Checker) ExploreParallel(opts Options, workers int, visit func(*State) 
 		return res, err
 	}
 	passed := newPStore()
-	passed.Add(init)
+	initPool := dbm.NewPool(c.eng.dim)
+	passed.Add(init, initPool)
+
+	if visit != nil && visit(init) {
+		res.Found = true
+		res.FoundState = init
+		res.Stored = 1
+		res.Duration = time.Since(start)
+		return res, nil
+	}
 
 	var (
-		mu       sync.Mutex
-		cond     = sync.Cond{L: &mu}
-		waiting  = []*State{init}
-		inFlight = 0
-		done     bool
+		// pending counts states that are admitted but not yet fully
+		// expanded (queued in some deque or currently being expanded).
+		// It is incremented before a state becomes stealable and
+		// decremented only after all of its successors have been pushed,
+		// so pending == 0 is a sound termination barrier: no work exists
+		// and none can appear.
+		pending atomic.Int64
+		done    atomic.Bool
 
 		stored      atomic.Int64
 		popped      atomic.Int64
@@ -105,82 +112,96 @@ func (c *Checker) ExploreParallel(opts Options, workers int, visit func(*State) 
 	)
 	stored.Store(1)
 
-	stop := func() {
-		mu.Lock()
-		done = true
-		cond.Broadcast()
-		mu.Unlock()
+	deques := make([]*wsDeque, workers)
+	for i := range deques {
+		deques[i] = newWSDeque()
 	}
-	if visit != nil && visit(init) {
-		foundState.Store(init)
-		res.Found = true
-		res.FoundState = init
-		res.Stored = 1
-		res.Duration = time.Since(start)
-		return res, nil
-	}
+	pending.Store(1)
+	deques[0].push(init)
 
-	var wg sync.WaitGroup
-	worker := func() {
-		defer wg.Done()
+	worker := func(id int) {
+		ctx := c.eng.newCtx()
+		ctx.keepLabels = false // labels are dropped; skip their retention
+		me := deques[id]
+		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(id+1) * 0x9E3779B9)))
 		var succs []succ
+		var nPopped, nTransitions, nDeadlocks int64
+		defer func() {
+			popped.Add(nPopped)
+			transitions.Add(nTransitions)
+			deadlocks.Add(nDeadlocks)
+		}()
+		idleSpins := 0
 		for {
-			mu.Lock()
-			for len(waiting) == 0 && inFlight > 0 && !done {
-				cond.Wait()
-			}
-			if done || (len(waiting) == 0 && inFlight == 0) {
-				done = true
-				cond.Broadcast()
-				mu.Unlock()
+			if done.Load() {
 				return
 			}
-			s := waiting[len(waiting)-1]
-			waiting = waiting[:len(waiting)-1]
-			inFlight++
-			mu.Unlock()
-
-			popped.Add(1)
+			s := me.pop()
+			for attempt := 0; s == nil && attempt < 2*workers; attempt++ {
+				if v := deques[rng.Intn(workers)]; v != me {
+					s = v.steal()
+				}
+			}
+			if s == nil {
+				if pending.Load() == 0 {
+					return
+				}
+				// Someone still holds work: back off without a lock so the
+				// next push is picked up by stealing.
+				idleSpins++
+				if idleSpins < 8 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(time.Duration(min(idleSpins, 100)) * time.Microsecond)
+				}
+				continue
+			}
+			idleSpins = 0
+			nPopped++
 			var err error
-			succs, err = c.eng.successors(s, succs[:0])
+			succs, err = c.eng.successors(ctx, s, succs[:0])
 			if err != nil {
 				firstErr.CompareAndSwap(nil, &err)
-				stop()
+				done.Store(true)
 				return
 			}
 			if len(succs) == 0 {
-				deadlocks.Add(1)
+				nDeadlocks++
 			}
-			var fresh []*State
 			for _, sc := range succs {
-				transitions.Add(1)
-				if passed.Add(sc.state) {
-					stored.Add(1)
-					if visit != nil && visit(sc.state) {
-						foundState.CompareAndSwap(nil, sc.state)
-						stop()
-						return
-					}
-					fresh = append(fresh, sc.state)
+				nTransitions++
+				if !passed.Add(sc.state, ctx.pool) {
+					ctx.putState(sc.state)
+					continue
 				}
+				n := stored.Add(1)
+				if visit != nil && visit(sc.state) {
+					foundState.CompareAndSwap(nil, sc.state)
+					done.Store(true)
+					return
+				}
+				if opts.MaxStates > 0 && n >= int64(opts.MaxStates) {
+					truncated.Store(true)
+					done.Store(true)
+					return
+				}
+				pending.Add(1)
+				me.push(sc.state)
 			}
-			if opts.MaxStates > 0 && stored.Load() >= int64(opts.MaxStates) {
-				truncated.Store(true)
-				stop()
-				return
-			}
-			mu.Lock()
-			waiting = append(waiting, fresh...)
-			inFlight--
-			if len(fresh) > 0 || (len(waiting) == 0 && inFlight == 0) {
-				cond.Broadcast()
-			}
-			mu.Unlock()
+			pending.Add(-1)
+			// s is fully expanded; nothing references it anymore (the
+			// pstore holds its own copies), so recycle it wholesale.
+			ctx.putState(s)
 		}
 	}
+
+	var wg sync.WaitGroup
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go worker()
+		go func(id int) {
+			defer wg.Done()
+			worker(id)
+		}(i)
 	}
 	wg.Wait()
 

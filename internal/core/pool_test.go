@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// TestStorePrunedZoneRecycledWithoutAliasing is the pool-ownership contract
+// test: the store keeps its own copies of admitted zones, so (a) a pruned
+// stored zone really returns to the pool, and (b) scribbling over a recycled
+// matrix never corrupts a stored zone or a state the explorer still holds.
+func TestStorePrunedZoneRecycledWithoutAliasing(t *testing.T) {
+	pool := dbm.NewPool(2)
+	st := newStore(pool)
+	locs := []ta.LocID{0}
+	vars := []int64{0}
+
+	small := mkState(locs, vars, 10)
+	if !st.Add(small) {
+		t.Fatal("first zone must be admitted")
+	}
+	// The store must have copied, not aliased, small.Zone.
+	gets0, _ := pool.Stats()
+	if gets0 == 0 {
+		t.Fatal("admission must draw the stored copy from the pool")
+	}
+
+	big := mkState(locs, vars, 20)
+	if !st.Add(big) {
+		t.Fatal("covering zone must be admitted")
+	}
+	// small's stored copy was pruned and released inside Add, and the copy
+	// of big's zone must have reused it — recycling closes the loop within
+	// a single Add.
+	if _, reuses := pool.Stats(); reuses == 0 {
+		t.Fatal("pruned stored zone must be reused for the next stored copy")
+	}
+
+	// Now play the explorer discarding a subsumed state: release its zone,
+	// get it back recycled, and scribble over it.
+	if st.Add(small) {
+		t.Fatal("x<=10 must be subsumed by the stored x<=20")
+	}
+	pool.Put(small.Zone)
+	_, reusesBefore := pool.Stats()
+	recycled := pool.Get()
+	if _, reuses := pool.Stats(); reuses != reusesBefore+1 {
+		t.Fatal("released state zone must be reusable from the pool")
+	}
+	if recycled != small.Zone {
+		t.Fatal("expected the released matrix back from the free list")
+	}
+	recycled.SetInit()
+	recycled.Up()
+	recycled.Constrain(1, 0, dbm.LE(999))
+
+	// The state the "explorer" still owns must be intact...
+	if big.Zone.Sup(1) != dbm.LE(20) {
+		t.Errorf("caller-owned zone mutated: sup=%v, want <=20", big.Zone.Sup(1))
+	}
+	// ...and so must the stored zone: x<=20 still subsumes x<=15, and
+	// x<=25 is still new.
+	if st.Add(mkState(locs, vars, 15)) {
+		t.Error("stored zone corrupted: x<=15 no longer subsumed")
+	}
+	if !st.Add(mkState(locs, vars, 25)) {
+		t.Error("stored zone corrupted: x<=25 not admitted")
+	}
+}
+
+// TestAddDoesNotRetainCallerZone verifies the reverse direction of the
+// contract: mutating a state's zone after admission must not change what
+// the store believes, because the store owns an independent copy.
+func TestAddDoesNotRetainCallerZone(t *testing.T) {
+	pool := dbm.NewPool(2)
+	st := newStore(pool)
+	locs := []ta.LocID{0}
+	vars := []int64{0}
+
+	s := mkState(locs, vars, 10)
+	if !st.Add(s) {
+		t.Fatal("zone must be admitted")
+	}
+	// Simulate the explorer recycling the state's own zone.
+	s.Zone.SetInit()
+
+	if st.Add(mkState(locs, vars, 8)) {
+		t.Error("store lost the admitted zone x<=10 after the caller's copy was recycled")
+	}
+}
+
+// TestSuccessorsSurviveSubsumedSiblingRecycling drives the real engine:
+// expanding states whose subsumed successors are recycled must never
+// corrupt the admitted ones. The grid exploration revisits many subsumed
+// states, so a single aliasing bug makes the stored count or the supremum
+// drift (caught against the pre-pool oracle values encoded in
+// parallel_test.go as well).
+func TestSuccessorsSurviveSubsumedSiblingRecycling(t *testing.T) {
+	n, sx, _, busy := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.Explore(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Explore(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stored != r2.Stored || r1.Transitions != r2.Transitions {
+		t.Errorf("exploration not deterministic under recycling: %v vs %v", r1.Stats, r2.Stats)
+	}
+	sup, err := c.SupClock(sx.ID, func(s *State) bool { return s.Locs[3] == busy }, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.Max != dbm.LE(2) {
+		t.Errorf("busy clock sup = %v, want <=2", sup.Max)
+	}
+}

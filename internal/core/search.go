@@ -47,8 +47,14 @@ type Options struct {
 	// (no action successor from the state or any of its delay successors),
 	// recording a trace to it.
 	StopAtDeadlock bool
-	// Workers > 1 runs queries that do not need traces (SupClock) on the
-	// parallel explorer with that many goroutines.
+	// Workers > 1 runs trace-free queries (SupClock, MaxVar) on the
+	// work-stealing parallel explorer with that many goroutines; the
+	// routing decision is Options.parallelism (checker.go), shared by
+	// every entry point including the cmd/ -workers flags. Queries that
+	// reconstruct traces (CheckSafety, Reachable, CheckDeadlockFree)
+	// ignore the field and always run sequentially. Note that a parallel
+	// SupClock run therefore never fills SupResult.Witness — set Workers
+	// to 1 (or 0) when the witness trace matters.
 	Workers int
 }
 
@@ -135,12 +141,15 @@ func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult,
 	if err != nil {
 		return res, err
 	}
-	passed := newStore()
+	ctx := c.eng.newCtx()
+	passed := newStore(ctx.pool)
 	passed.Add(init)
 	res.Stored = 1
 
-	arena := []node{{state: init, parent: -1}}
-	waiting := []int{0}
+	arena := make([]node, 1, 1024)
+	arena[0] = node{state: init, parent: -1}
+	waiting := make([]int, 1, 256)
+	waiting[0] = 0
 
 	finish := func() ExploreResult {
 		res.Duration = time.Since(start)
@@ -166,7 +175,7 @@ func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult,
 		res.Popped++
 		cur := arena[idx]
 
-		succs, err = c.eng.successors(cur.state, succs[:0])
+		succs, err = c.eng.successors(ctx, cur.state, succs[:0])
 		if err != nil {
 			return finish(), err
 		}
@@ -183,6 +192,9 @@ func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult,
 		for _, sc := range succs {
 			res.Transitions++
 			if !passed.Add(sc.state) {
+				// Subsumed: the state is discarded and nothing else
+				// references it, so it is recycled wholesale.
+				ctx.putState(sc.state)
 				continue
 			}
 			res.Stored++
@@ -204,15 +216,17 @@ func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult,
 	return finish(), nil
 }
 
-// buildTrace walks parent links from arena index i back to the root.
+// buildTrace walks parent links from arena index i back to the root,
+// filling the result back-to-front in a single pass.
 func buildTrace(arena []node, i int) []TraceStep {
-	var rev []TraceStep
-	for ; i >= 0; i = arena[i].parent {
-		rev = append(rev, TraceStep{Label: arena[i].label, State: arena[i].state})
+	depth := 0
+	for k := i; k >= 0; k = arena[k].parent {
+		depth++
 	}
-	out := make([]TraceStep, 0, len(rev))
-	for k := len(rev) - 1; k >= 0; k-- {
-		out = append(out, rev[k])
+	out := make([]TraceStep, depth)
+	for k := i; k >= 0; k = arena[k].parent {
+		depth--
+		out[depth] = TraceStep{Label: arena[k].label, State: arena[k].state}
 	}
 	return out
 }

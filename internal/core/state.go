@@ -27,46 +27,51 @@ type State struct {
 	Locs []ta.LocID
 	Vars []int64
 	Zone *dbm.DBM
+
+	// key caches discreteHash(Locs, Vars); 0 means not yet computed
+	// (discreteHash never returns 0). The discrete part of a state is
+	// immutable after construction, so the cache never invalidates. A state
+	// is hashed by exactly one goroutine (its creator) before it is shared,
+	// so the lazy fill is race-free.
+	key uint64
 }
 
 // LocOf returns the current location of process p.
 func (s *State) LocOf(p ta.ProcID) ta.LocID { return s.Locs[p] }
 
-// discreteHash hashes the discrete part (locations and variables) of a state.
+// discreteKey returns the cached hash of the state's discrete part,
+// computing it on first use.
+func (s *State) discreteKey() uint64 {
+	if s.key == 0 {
+		s.key = discreteHash(s.Locs, s.Vars)
+	}
+	return s.key
+}
+
+// discreteHash hashes the discrete part (locations and variables) of a
+// state, mixing each component as one 64-bit word (FNV-1a over words with a
+// splitmix-style finalizer). The result is never 0, so 0 can serve as the
+// "not yet hashed" sentinel in State.key.
 func discreteHash(locs []ta.LocID, vars []int64) uint64 {
 	const (
 		offset = 14695981039346656037
-		prime  = 1099511628211
+		prime  = 0x9E3779B97F4A7C15
 	)
 	h := uint64(offset)
-	mix := func(v uint64) {
-		for s := 0; s < 64; s += 8 {
-			h ^= (v >> s) & 0xff
-			h *= prime
-		}
-	}
 	for _, l := range locs {
-		mix(uint64(l))
+		h = (h ^ uint64(l)) * prime
 	}
-	mix(0xabcdef)
+	h = (h ^ 0xabcdef) * prime // separator between the two variable-length parts
 	for _, v := range vars {
-		mix(uint64(v))
+		h = (h ^ uint64(v)) * prime
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	if h == 0 {
+		return 1
 	}
 	return h
-}
-
-func discreteEqual(aLocs, bLocs []ta.LocID, aVars, bVars []int64) bool {
-	for i := range aLocs {
-		if aLocs[i] != bLocs[i] {
-			return false
-		}
-	}
-	for i := range aVars {
-		if aVars[i] != bVars[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Format renders the state compactly: locations, the non-zero variables,

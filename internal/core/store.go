@@ -11,55 +11,137 @@ import (
 // admission, stored zones included in the new one are pruned. This is the
 // standard inclusion-checking subsumption that makes zone-graph exploration
 // terminate.
+//
+// # Zone ownership
+//
+// The store NEVER aliases the zone of an admitted state: on admission it
+// keeps its own pool-backed copy. This is what makes recycling sound — a
+// pruned (subsumed) stored zone is referenced by nothing but the store and
+// can be released back into the pool immediately, even while the pruned
+// state is still sitting in a waiting list or arena with its own zone. The
+// full protocol:
+//
+//   - engine.fire produces states whose zones come from the worker's pool;
+//     the state owns its zone.
+//   - store.Add(s) copies s.Zone on admission (pool-backed); s keeps
+//     ownership of its own zone.
+//   - If Add reports false (subsumed), the caller releases s.Zone — the
+//     state is about to be discarded and nothing else references it.
+//   - Pruned stored copies are released into the pool inside Add.
+//
+// Store entries own packed copies of the discrete vectors (see packDisc),
+// never aliases of a state's slices — states recycle, entries do not.
 type store struct {
 	buckets map[uint64][]*storeEntry
 	zones   int
+	pool    *dbm.Pool // nil disables copying and recycling (zones are aliased)
 }
 
 type storeEntry struct {
-	locs  []ta.LocID
-	vars  []int64
+	// key caches the discrete hash so rehashing or resizing the bucket
+	// structure never recomputes it.
+	key uint64
+	// disc packs the location vector followed by the variable valuation
+	// into one owned slice: one allocation per discrete state and one
+	// slices.Equal-style scan per lookup.
+	disc  []uint64
 	zones []*dbm.DBM
 }
 
-func newStore() *store {
-	return &store{buckets: make(map[uint64][]*storeEntry)}
+// packDisc flattens (locs, vars) into a fresh entry-owned key slice.
+func packDisc(locs []ta.LocID, vars []int64) []uint64 {
+	disc := make([]uint64, 0, len(locs)+len(vars))
+	for _, l := range locs {
+		disc = append(disc, uint64(l))
+	}
+	for _, v := range vars {
+		disc = append(disc, uint64(v))
+	}
+	return disc
 }
 
-// Add inserts the state unless it is subsumed, reporting whether it is new.
-func (st *store) Add(s *State) bool {
-	h := discreteHash(s.Locs, s.Vars)
-	bucket := st.buckets[h]
-	var entry *storeEntry
-	for _, e := range bucket {
-		if len(e.locs) == len(s.Locs) && len(e.vars) == len(s.Vars) &&
-			discreteEqual(e.locs, s.Locs, e.vars, s.Vars) {
-			entry = e
-			break
-		}
+// matches reports whether the entry represents the discrete state (locs,
+// vars) whose cached hash is key: one integer compare, then one
+// slices.Equal-style scan.
+func (e *storeEntry) matches(key uint64, locs []ta.LocID, vars []int64) bool {
+	if e.key != key || len(e.disc) != len(locs)+len(vars) {
+		return false
 	}
-	if entry == nil {
-		entry = &storeEntry{locs: s.Locs, vars: s.Vars}
-		st.buckets[h] = append(st.buckets[h], entry)
-	}
-	// First pass: pure subsumption check, no mutation.
-	for _, z := range entry.zones {
-		if s.Zone.SubsetEq(z) {
+	for i, l := range locs {
+		if e.disc[i] != uint64(l) {
 			return false
 		}
 	}
-	// Second pass: prune stored zones covered by the new one.
-	keep := entry.zones[:0]
-	for _, z := range entry.zones {
+	d := e.disc[len(locs):]
+	for i, v := range vars {
+		if d[i] != uint64(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func newStore(pool *dbm.Pool) *store {
+	return &store{buckets: make(map[uint64][]*storeEntry), pool: pool}
+}
+
+// lookupEntry finds or creates the bucket entry for s's discrete state.
+func lookupEntry(buckets map[uint64][]*storeEntry, s *State) *storeEntry {
+	h := s.discreteKey()
+	for _, e := range buckets[h] {
+		if e.matches(h, s.Locs, s.Vars) {
+			return e
+		}
+	}
+	// The entry owns its packed key material: states are recyclable
+	// (succCtx.putState), so aliasing s here would let a reused state
+	// rewrite the entry's key in place. Entry creation happens once per
+	// discrete state, so the copy cost is negligible.
+	e := &storeEntry{key: h, disc: packDisc(s.Locs, s.Vars)}
+	buckets[h] = append(buckets[h], e)
+	return e
+}
+
+// admit implements the subsumption protocol on one entry: reject s if a
+// stored zone includes it, otherwise prune stored zones covered by it
+// (releasing them into pool) and store a pool-backed copy of s.Zone. It
+// returns the change in the number of stored zones, or 0 when s was
+// subsumed (any admission nets at least +1 minus prunes). The caller must
+// hold whatever lock guards the entry; pool may be nil to disable copying
+// and recycling (zones are then aliased).
+func (e *storeEntry) admit(s *State, pool *dbm.Pool) (delta int, admitted bool) {
+	// First pass: pure subsumption check, no mutation.
+	for _, z := range e.zones {
+		if s.Zone.SubsetEq(z) {
+			return 0, false
+		}
+	}
+	// Second pass: prune stored zones covered by the new one, recycling them.
+	keep := e.zones[:0]
+	for _, z := range e.zones {
 		if !z.SubsetEq(s.Zone) {
 			keep = append(keep, z)
 		} else {
-			st.zones--
+			delta--
+			if pool != nil {
+				pool.Put(z)
+			}
 		}
 	}
-	entry.zones = append(keep, s.Zone)
-	st.zones++
-	return true
+	stored := s.Zone
+	if pool != nil {
+		stored = pool.GetCopy(s.Zone)
+	}
+	e.zones = append(keep, stored)
+	return delta + 1, true
+}
+
+// Add inserts the state unless it is subsumed, reporting whether it is new.
+// See the type comment for the zone-ownership protocol.
+func (st *store) Add(s *State) bool {
+	delta, admitted := lookupEntry(st.buckets, s).admit(s, st.pool)
+	st.zones += delta
+	return admitted
 }
 
 // Len returns the number of stored maximal zones.

@@ -15,7 +15,7 @@ func mkState(locs []ta.LocID, vars []int64, hi int64) *State {
 }
 
 func TestStoreSubsumption(t *testing.T) {
-	st := newStore()
+	st := newStore(dbm.NewPool(2))
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 	if !st.Add(mkState(locs, vars, 10)) {
@@ -37,7 +37,7 @@ func TestStoreSubsumption(t *testing.T) {
 }
 
 func TestStoreDistinguishesDiscreteParts(t *testing.T) {
-	st := newStore()
+	st := newStore(dbm.NewPool(2))
 	if !st.Add(mkState([]ta.LocID{0}, []int64{0}, 10)) ||
 		!st.Add(mkState([]ta.LocID{1}, []int64{0}, 10)) ||
 		!st.Add(mkState([]ta.LocID{0}, []int64{1}, 10)) {
@@ -49,7 +49,7 @@ func TestStoreDistinguishesDiscreteParts(t *testing.T) {
 }
 
 func TestStoreIncomparableZonesCoexist(t *testing.T) {
-	st := newStore()
+	st := newStore(dbm.NewPool(2))
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 	// x <= 10 and x >= 5 (upper bound infinity) are incomparable.
@@ -65,7 +65,7 @@ func TestStoreIncomparableZonesCoexist(t *testing.T) {
 }
 
 func TestPStoreMatchesStore(t *testing.T) {
-	seq := newStore()
+	seq := newStore(dbm.NewPool(2))
 	par := newPStore()
 	states := []*State{
 		mkState([]ta.LocID{0}, []int64{0}, 10),
@@ -76,7 +76,7 @@ func TestPStoreMatchesStore(t *testing.T) {
 	}
 	for i, s := range states {
 		a := seq.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
-		b := par.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
+		b := par.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()}, dbm.NewPool(2))
 		if a != b {
 			t.Errorf("state %d: sequential Add=%v parallel Add=%v", i, a, b)
 		}

@@ -11,6 +11,10 @@ import (
 // semantics: delay closure subject to invariants, urgency (urgent locations,
 // urgent channels), committed locations, binary and broadcast
 // synchronization, and maximal-constant extrapolation.
+//
+// The engine itself is immutable after construction (safe to share between
+// goroutines); all mutable scratch state lives in a succCtx, of which every
+// exploration worker owns exactly one.
 type engine struct {
 	net *ta.Network
 	dim int
@@ -31,9 +35,102 @@ func newEngine(net *ta.Network) (*engine, error) {
 	return &engine{net: net, dim: net.NumClocks()}, nil
 }
 
+// succCtx is the per-worker scratch state of the successor engine. The hot
+// path writes candidate successors into these buffers and only materializes
+// heap objects once a transition is known to fire, so clock-disabled
+// transitions (the common case) allocate nothing.
+//
+// Zone ownership: zone is the current scratch matrix, owned by the ctx. On
+// a successful fire it is detached into the new State (which then owns it)
+// and replaced from pool. Zones of states that the passed store rejects as
+// subsumed must be released back into pool by the explorer.
+type succCtx struct {
+	pool *dbm.Pool
+	zone *dbm.DBM
+
+	locs  []ta.LocID  // scratch location vector, len = #processes
+	vars  []int64     // scratch variable valuation, len = #variables
+	parts []LabelPart // scratch label under construction
+
+	emitters  []LabelPart // per-channel enabled emit edges
+	receivers []LabelPart // per-channel enabled receive edges
+	runs      []partRun   // broadcast receiver grouping
+
+	// states is a free list of State objects (with their discrete vectors)
+	// released by the explorer via putState. Store entries clone the
+	// discrete vectors of admitted states (store.go), so recycling a state
+	// can never corrupt the passed store.
+	states []*State
+
+	// chunk is a bump allocator for the Label.Parts of fired transitions:
+	// stable copies are carved out of large blocks instead of one
+	// allocation per transition. Blocks live until the ctx is dropped.
+	chunk []LabelPart
+
+	// keepLabels controls whether fired labels get stable Parts copies.
+	// The sequential explorer needs them (arena nodes keep labels for
+	// trace reconstruction); the parallel explorer discards labels, so its
+	// workers turn this off and successors nil the Parts instead.
+	keepLabels bool
+}
+
+// partRun is a contiguous range of ctx.receivers belonging to one process.
+type partRun struct{ start, end int }
+
+// newCtx returns a fresh scratch context for one exploration worker.
+func (e *engine) newCtx() *succCtx {
+	return &succCtx{
+		pool:       dbm.NewPool(e.dim),
+		zone:       dbm.New(e.dim),
+		locs:       make([]ta.LocID, len(e.net.Procs)),
+		vars:       make([]int64, len(e.net.Vars)),
+		keepLabels: true,
+	}
+}
+
+// allocParts returns a stable copy of parts carved from the ctx's chunk
+// arena, full-slice-capped so later appends can never bleed into it.
+func (ctx *succCtx) allocParts(parts []LabelPart) []LabelPart {
+	n := len(parts)
+	if cap(ctx.chunk)-len(ctx.chunk) < n {
+		ctx.chunk = make([]LabelPart, 0, max(256, n))
+	}
+	start := len(ctx.chunk)
+	ctx.chunk = append(ctx.chunk, parts...)
+	return ctx.chunk[start : start+n : start+n]
+}
+
+// getState returns a recycled or fresh State with discrete vectors sized
+// for the network. The caller must fill Locs, Vars, and Zone.
+func (ctx *succCtx) getState() *State {
+	if n := len(ctx.states); n > 0 {
+		s := ctx.states[n-1]
+		ctx.states[n-1] = nil
+		ctx.states = ctx.states[:n-1]
+		s.key = 0
+		return s
+	}
+	return &State{
+		Locs: make([]ta.LocID, len(ctx.locs)),
+		Vars: make([]int64, len(ctx.vars)),
+	}
+}
+
+// putState releases a state the explorer no longer references: its zone
+// goes back to the DBM pool and the struct (with its discrete vectors) onto
+// the free list. The caller must guarantee nothing else aliases the state —
+// see the ownership protocol in store.go.
+func (ctx *succCtx) putState(s *State) {
+	ctx.pool.Put(s.Zone)
+	s.Zone = nil
+	if len(s.Locs) == len(ctx.locs) && len(s.Vars) == len(ctx.vars) {
+		ctx.states = append(ctx.states, s)
+	}
+}
+
 // initial computes the initial symbolic state: all processes in their initial
 // locations, variables at initial values, all clocks zero, then delay-closed
-// and extrapolated.
+// and extrapolated. The returned state owns its zone (it is not pooled).
 func (e *engine) initial() (*State, error) {
 	locs := make([]ta.LocID, len(e.net.Procs))
 	for i, p := range e.net.Procs {
@@ -44,7 +141,8 @@ func (e *engine) initial() (*State, error) {
 	if !e.applyInvariants(z, locs, vars) {
 		return nil, fmt.Errorf("core: initial state violates an invariant")
 	}
-	return e.close(z, locs, vars), nil
+	e.closeInPlace(z, locs, vars)
+	return &State{Locs: locs, Vars: vars, Zone: z}, nil
 }
 
 // succ is one symbolic successor together with the transition that
@@ -56,7 +154,9 @@ type succ struct {
 
 // successors appends every symbolic action successor of s to out. Delay is
 // folded into stored states, so no explicit delay successors are produced.
-func (e *engine) successors(s *State, out []succ) ([]succ, error) {
+// Labels passed through the candidate pipeline point at ctx scratch and are
+// cloned only when a transition actually fires.
+func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) {
 	anyCommitted := false
 	for pi, l := range s.Locs {
 		if e.net.Procs[pi].Locations[l].Kind == ta.Committed {
@@ -84,8 +184,13 @@ func (e *engine) successors(s *State, out []succ) ([]succ, error) {
 			return
 		}
 		var ns *State
-		ns, err = e.fire(s, label)
+		ns, err = e.fire(ctx, s, label)
 		if err == nil && ns != nil {
+			if ctx.keepLabels {
+				label.Parts = ctx.allocParts(label.Parts)
+			} else {
+				label.Parts = nil // scratch-backed; caller discards labels
+			}
 			out = append(out, succ{label, ns})
 		}
 	}
@@ -97,20 +202,21 @@ func (e *engine) successors(s *State, out []succ) ([]succ, error) {
 			if ed.Sync.Dir != ta.Tau || !ta.EvalGuard(ed.Guard, s.Vars) {
 				continue
 			}
-			try(Label{Kind: "tau", Parts: []LabelPart{{ta.ProcID(pi), ei}}})
+			ctx.parts = append(ctx.parts[:0], LabelPart{ta.ProcID(pi), ei})
+			try(Label{Kind: "tau", Parts: ctx.parts})
 		}
 	}
 
 	// Synchronizations, channel by channel.
 	for ci := range e.net.Chans {
 		ch := &e.net.Chans[ci]
-		emitters, receivers := e.enabledSyncEdges(s, ta.ChanID(ci))
+		emitters, receivers := e.enabledSyncEdges(ctx, s, ta.ChanID(ci))
 		if len(emitters) == 0 {
 			continue
 		}
 		if ch.Kind.IsBroadcast() {
 			for _, em := range emitters {
-				e.broadcastCombos(s, ch, em, receivers, try)
+				e.broadcastCombos(ctx, ch, em, receivers, try)
 			}
 		} else {
 			for _, em := range emitters {
@@ -118,8 +224,8 @@ func (e *engine) successors(s *State, out []succ) ([]succ, error) {
 					if rc.Proc == em.Proc {
 						continue
 					}
-					try(Label{Kind: "sync", Chan: ch.Name,
-						Parts: []LabelPart{em, rc}})
+					ctx.parts = append(ctx.parts[:0], em, rc)
+					try(Label{Kind: "sync", Chan: ch.Name, Parts: ctx.parts})
 				}
 			}
 		}
@@ -131,8 +237,11 @@ func (e *engine) successors(s *State, out []succ) ([]succ, error) {
 }
 
 // enabledSyncEdges collects the data-guard-enabled emit and receive edges on
-// channel c in the current discrete state.
-func (e *engine) enabledSyncEdges(s *State, c ta.ChanID) (emitters, receivers []LabelPart) {
+// channel c in the current discrete state, into ctx scratch. The returned
+// slices are valid until the next call and are grouped by process in
+// increasing process order.
+func (e *engine) enabledSyncEdges(ctx *succCtx, s *State, c ta.ChanID) (emitters, receivers []LabelPart) {
+	emitters, receivers = ctx.emitters[:0], ctx.receivers[:0]
 	for pi, p := range e.net.Procs {
 		for _, ei := range p.OutEdges(s.Locs[pi]) {
 			ed := &p.Edges[ei]
@@ -150,50 +259,65 @@ func (e *engine) enabledSyncEdges(s *State, c ta.ChanID) (emitters, receivers []
 			}
 		}
 	}
+	ctx.emitters, ctx.receivers = emitters, receivers
 	return emitters, receivers
 }
 
 // broadcastCombos enumerates the maximal-participation broadcast
 // transitions for one emitter: every process with at least one enabled
 // receive edge participates with exactly one of them; processes without
-// enabled receive edges are skipped.
-func (e *engine) broadcastCombos(s *State, ch *ta.Channel, em LabelPart,
+// enabled receive edges are skipped. receivers must be grouped by process
+// (as produced by enabledSyncEdges), so the grouping is a single scan over
+// contiguous runs instead of a map.
+func (e *engine) broadcastCombos(ctx *succCtx, ch *ta.Channel, em LabelPart,
 	receivers []LabelPart, try func(Label)) {
-	// Group enabled receive edges by process, excluding the emitter.
-	perProc := make(map[ta.ProcID][]LabelPart)
-	var order []ta.ProcID
-	for _, rc := range receivers {
-		if rc.Proc == em.Proc {
-			continue
+	runs := ctx.runs[:0]
+	for i := 0; i < len(receivers); {
+		j := i
+		for j < len(receivers) && receivers[j].Proc == receivers[i].Proc {
+			j++
 		}
-		if _, seen := perProc[rc.Proc]; !seen {
-			order = append(order, rc.Proc)
+		if receivers[i].Proc != em.Proc {
+			runs = append(runs, partRun{i, j})
 		}
-		perProc[rc.Proc] = append(perProc[rc.Proc], rc)
+		i = j
 	}
-	parts := make([]LabelPart, 0, len(order)+1)
-	parts = append(parts, em)
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(order) {
-			label := Label{Kind: "broadcast", Chan: ch.Name,
-				Parts: append([]LabelPart(nil), parts...)}
-			try(label)
+	ctx.runs = runs
+	parts := append(ctx.parts[:0], em)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(runs) {
+			try(Label{Kind: "broadcast", Chan: ch.Name, Parts: parts})
 			return
 		}
-		for _, rc := range perProc[order[i]] {
-			parts = append(parts, rc)
-			rec(i + 1)
+		for x := runs[k].start; x < runs[k].end; x++ {
+			parts = append(parts, receivers[x])
+			rec(k + 1)
 			parts = parts[:len(parts)-1]
 		}
 	}
 	rec(0)
+	ctx.parts = parts
 }
 
 // fire executes one transition symbolically. It returns (nil, nil) when the
-// transition is clock-disabled or leads to an invariant-violating state.
-func (e *engine) fire(s *State, label Label) (*State, error) {
-	z := s.Zone.Copy()
+// transition is clock-disabled or leads to an invariant-violating state —
+// paths that touch only ctx scratch and allocate nothing. On success the
+// scratch zone is detached into the returned state and replaced from the
+// pool, so the per-transition allocation cost is one pooled Get (amortized
+// zero) plus the discrete-vector clones.
+func (e *engine) fire(ctx *succCtx, s *State, label Label) (*State, error) {
+	// Quick reject: a guard constraint that alone contradicts the parent
+	// zone disables the transition without copying the matrix. This is the
+	// common case on dense interleavings, so it runs before any work.
+	for _, pt := range label.Parts {
+		ed := &e.net.Procs[pt.Proc].Edges[pt.Edge]
+		if !ta.ConstraintsFeasible(s.Zone, ed.ClockGuard, s.Vars) {
+			return nil, nil
+		}
+	}
+	z := ctx.zone
+	z.CopyFrom(s.Zone)
 	for _, pt := range label.Parts {
 		ed := &e.net.Procs[pt.Proc].Edges[pt.Edge]
 		// Clock guards are evaluated against the pre-transition valuation.
@@ -201,14 +325,16 @@ func (e *engine) fire(s *State, label Label) (*State, error) {
 			return nil, nil
 		}
 	}
-	vars := append([]int64(nil), s.Vars...)
+	vars := ctx.vars
+	copy(vars, s.Vars)
 	for _, pt := range label.Parts {
 		ta.ApplyUpdate(e.net.Procs[pt.Proc].Edges[pt.Edge].Update, vars)
 	}
 	if err := e.net.CheckVarBounds(vars); err != nil {
 		return nil, fmt.Errorf("core: on transition %s: %w", label.Format(e.net), err)
 	}
-	locs := append([]ta.LocID(nil), s.Locs...)
+	locs := ctx.locs
+	copy(locs, s.Locs)
 	for _, pt := range label.Parts {
 		ed := &e.net.Procs[pt.Proc].Edges[pt.Edge]
 		locs[pt.Proc] = ed.Dst
@@ -222,13 +348,19 @@ func (e *engine) fire(s *State, label Label) (*State, error) {
 	if !e.applyInvariants(z, locs, vars) {
 		return nil, nil
 	}
-	return e.close(z, locs, vars), nil
+	e.closeInPlace(z, locs, vars)
+	ns := ctx.getState()
+	copy(ns.Locs, locs)
+	copy(ns.Vars, vars)
+	ns.Zone = z
+	ctx.zone = ctx.pool.Get()
+	return ns, nil
 }
 
-// close applies the delay closure (when permitted by urgency), re-applies
-// invariants, and extrapolates — producing the canonical stored form of a
-// symbolic state.
-func (e *engine) close(z *dbm.DBM, locs []ta.LocID, vars []int64) *State {
+// closeInPlace applies the delay closure (when permitted by urgency),
+// re-applies invariants, and extrapolates — producing the canonical stored
+// form of a symbolic state in place.
+func (e *engine) closeInPlace(z *dbm.DBM, locs []ta.LocID, vars []int64) {
 	if e.delayAllowed(locs, vars) {
 		z.Up()
 		// Invariants held before the delay and only constrain from above, so
@@ -240,7 +372,6 @@ func (e *engine) close(z *dbm.DBM, locs []ta.LocID, vars []int64) *State {
 	} else {
 		z.ExtraM(e.net.MaxConsts)
 	}
-	return &State{Locs: locs, Vars: vars, Zone: z}
 }
 
 // delayAllowed implements the urgency rule: no delay while any process is in
@@ -288,7 +419,9 @@ func (e *engine) broadcastEmitEnabled(locs []ta.LocID, vars []int64, c ta.ChanID
 // binaryPairEnabled reports whether some emit and receive edge on channel c
 // are simultaneously enabled in distinct processes.
 func (e *engine) binaryPairEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
-	var emitProcs, recvProcs []ta.ProcID
+	emitSeen, recvSeen := false, false
+	var emitProc, recvProc ta.ProcID
+	emitMany, recvMany := false, false
 	for pi, p := range e.net.Procs {
 		for _, ei := range p.OutEdges(locs[pi]) {
 			ed := &p.Edges[ei]
@@ -296,20 +429,24 @@ func (e *engine) binaryPairEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) b
 				continue
 			}
 			if ed.Sync.Dir == ta.Emit {
-				emitProcs = append(emitProcs, ta.ProcID(pi))
+				if emitSeen && emitProc != ta.ProcID(pi) {
+					emitMany = true
+				}
+				emitSeen, emitProc = true, ta.ProcID(pi)
 			} else {
-				recvProcs = append(recvProcs, ta.ProcID(pi))
+				if recvSeen && recvProc != ta.ProcID(pi) {
+					recvMany = true
+				}
+				recvSeen, recvProc = true, ta.ProcID(pi)
 			}
 		}
 	}
-	for _, ep := range emitProcs {
-		for _, rp := range recvProcs {
-			if ep != rp {
-				return true
-			}
-		}
+	if !emitSeen || !recvSeen {
+		return false
 	}
-	return false
+	// A pair exists unless every enabled emitter and receiver live in the
+	// same single process.
+	return emitMany || recvMany || emitProc != recvProc
 }
 
 // applyInvariants intersects z with the invariant of every current location

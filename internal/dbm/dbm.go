@@ -64,6 +64,24 @@ func (d *DBM) Copy() *DBM {
 	return c
 }
 
+// CopyFrom overwrites d with the contents of src, which must have the same
+// dimension. This is the in-place counterpart of Copy used with pooled
+// matrices.
+func (d *DBM) CopyFrom(src *DBM) {
+	if d.dim != src.dim {
+		panic("dbm: dimension mismatch in CopyFrom")
+	}
+	copy(d.m, src.m)
+}
+
+// SetInit overwrites d with the initial zone in which every clock equals
+// zero — the in-place counterpart of New for pooled matrices.
+func (d *DBM) SetInit() {
+	for i := range d.m {
+		d.m[i] = LEZero
+	}
+}
+
 // IsEmpty reports whether the zone contains no valuation. On a canonical DBM
 // emptiness shows up as a diagonal entry below (≤, 0).
 func (d *DBM) IsEmpty() bool {
@@ -77,22 +95,26 @@ func (d *DBM) IsEmpty() bool {
 
 // Close recomputes the canonical form with Floyd–Warshall shortest paths.
 // It returns false if the zone turned out to be empty (in which case the
-// contents are unspecified).
+// contents are unspecified). Rows are sliced out once per pivot so the inner
+// loop runs without index arithmetic or bounds checks.
 func (d *DBM) Close() bool {
 	n := d.dim
+	m := d.m
 	for k := 0; k < n; k++ {
+		rk := m[k*n : k*n+n]
 		for i := 0; i < n; i++ {
-			dik := d.At(i, k)
+			ri := m[i*n : i*n+n]
+			dik := ri[k]
 			if dik == Infinity {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				if v := Add(dik, d.At(k, j)); v < d.At(i, j) {
-					d.set(i, j, v)
+			for j, rkj := range rk {
+				if v := Add(dik, rkj); v < ri[j] {
+					ri[j] = v
 				}
 			}
 		}
-		if d.At(k, k) < LEZero {
+		if rk[k] < LEZero {
 			return false
 		}
 	}
@@ -103,14 +125,17 @@ func (d *DBM) Close() bool {
 // were tightened. This is the standard O(n²) incremental closure.
 func (d *DBM) closeSingle(c int) bool {
 	n := d.dim
+	m := d.m
+	rc := m[c*n : c*n+n]
 	for i := 0; i < n; i++ {
-		dic := d.At(i, c)
+		ri := m[i*n : i*n+n]
+		dic := ri[c]
 		if dic == Infinity {
 			continue
 		}
-		for j := 0; j < n; j++ {
-			if v := Add(dic, d.At(c, j)); v < d.At(i, j) {
-				d.set(i, j, v)
+		for j, rcj := range rc {
+			if v := Add(dic, rcj); v < ri[j] {
+				ri[j] = v
 			}
 		}
 	}
@@ -131,15 +156,18 @@ func (d *DBM) Constrain(i, j int, b Bound) bool {
 	d.set(i, j, b)
 	// Tighten all paths through the updated edge i -> j.
 	n := d.dim
+	m := d.m
+	rj := m[j*n : j*n+n]
 	for p := 0; p < n; p++ {
-		dpi := d.At(p, i)
+		rp := m[p*n : p*n+n]
+		dpi := rp[i]
 		if dpi == Infinity {
 			continue
 		}
 		via := Add(dpi, b)
-		for q := 0; q < n; q++ {
-			if v := Add(via, d.At(j, q)); v < d.At(p, q) {
-				d.set(p, q, v)
+		for q, rjq := range rj {
+			if v := Add(via, rjq); v < rp[q] {
+				rp[q] = v
 			}
 		}
 	}
@@ -343,21 +371,24 @@ func (d *DBM) Inf(c int) Bound {
 	return MakeBound(-b.Value(), b.Weak())
 }
 
-// Hash returns an FNV-1a style hash of the matrix contents, suitable for
-// keying passed-state stores.
+// Hash returns a hash of the matrix contents, suitable for keying
+// passed-state stores. Bounds are mixed a full 64-bit word at a time
+// (FNV-1a over words with a splitmix-style finalizer) rather than byte by
+// byte, which is ~8x fewer multiplies on the exploration hot path.
 func (d *DBM) Hash() uint64 {
 	const (
 		offset = 14695981039346656037
-		prime  = 1099511628211
+		prime  = 0x9E3779B97F4A7C15 // 2^64 / golden ratio
 	)
 	h := uint64(offset)
 	for _, b := range d.m {
-		v := uint64(b)
-		for s := 0; s < 64; s += 8 {
-			h ^= (v >> s) & 0xff
-			h *= prime
-		}
+		h = (h ^ uint64(b)) * prime
 	}
+	// Finalizer: word-wise FNV mixes the low bits poorly, so avalanche
+	// before the value is used for bucket selection.
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
 	return h
 }
 

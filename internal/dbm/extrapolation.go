@@ -25,23 +25,21 @@ func (d *DBM) ExtraM(max []int64) {
 		return max[i]
 	}
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
+		ri := d.m[i*n : i*n+n]
+		hi := LE(mc(i))
+		for j, b := range ri {
+			if i == j || b == Infinity {
 				continue
 			}
-			b := d.At(i, j)
-			if b == Infinity {
-				continue
-			}
-			if i != 0 && b > LE(mc(i)) {
+			if i != 0 && b > hi {
 				// Upper bound on xi (relative to xj) beyond xi's max
 				// constant: drop it.
-				d.set(i, j, Infinity)
+				ri[j] = Infinity
 				changed = true
-			} else if b < LT(-mc(j)) {
+			} else if lo := LT(-mc(j)); b < lo {
 				// Lower bound on xj below -max: relax to the strict bound at
 				// the max constant.
-				d.set(i, j, LT(-mc(j)))
+				ri[j] = lo
 				changed = true
 			}
 		}
@@ -77,19 +75,17 @@ func (d *DBM) ExtraLU(lower, upper []int64) {
 		return lower[j]
 	}
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
+		ri := d.m[i*n : i*n+n]
+		hi := LE(up(i))
+		for j, b := range ri {
+			if i == j || b == Infinity {
 				continue
 			}
-			b := d.At(i, j)
-			if b == Infinity {
-				continue
-			}
-			if i != 0 && b > LE(up(i)) {
-				d.set(i, j, Infinity)
+			if i != 0 && b > hi {
+				ri[j] = Infinity
 				changed = true
-			} else if b < LT(-lo(j)) {
-				d.set(i, j, LT(-lo(j)))
+			} else if low := LT(-lo(j)); b < low {
+				ri[j] = low
 				changed = true
 			}
 		}

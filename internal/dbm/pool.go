@@ -1,0 +1,71 @@
+package dbm
+
+// Pool is a free list of equal-dimension DBMs that lets hot exploration
+// loops recycle matrices instead of allocating one per candidate successor.
+//
+// A Pool is NOT safe for concurrent use: every worker of a parallel
+// exploration owns its own Pool. Matrices may migrate between pools (a DBM
+// obtained from one pool may be released into another of the same
+// dimension); a Pool only hands out matrices of its own dimension and
+// silently drops mismatched ones on Put.
+//
+// Ownership protocol (see the package comment of internal/core for the
+// explorer-side invariants): a DBM obtained from Get is exclusively owned by
+// the caller until it is either released with Put or handed off to a
+// longer-lived owner (a stored state, a passed-store entry). After Put the
+// caller must not retain the pointer — the matrix will be reused and
+// overwritten.
+type Pool struct {
+	dim  int
+	free []*DBM
+
+	// gets/reuses instrument the pool for tests and diagnostics.
+	gets   int
+	reuses int
+}
+
+// NewPool returns an empty pool handing out DBMs of the given dimension.
+func NewPool(dim int) *Pool {
+	if dim < 1 {
+		panic("dbm: pool dimension must include the reference clock")
+	}
+	return &Pool{dim: dim}
+}
+
+// Dim returns the dimension of the matrices managed by the pool.
+func (p *Pool) Dim() int { return p.dim }
+
+// Get returns a DBM of the pool's dimension with unspecified contents. The
+// caller must fully initialize it (e.g. with CopyFrom or SetInit) before
+// relying on any entry.
+func (p *Pool) Get() *DBM {
+	p.gets++
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		return d
+	}
+	return &DBM{dim: p.dim, m: make([]Bound, p.dim*p.dim)}
+}
+
+// GetCopy returns a pool-backed deep copy of src.
+func (p *Pool) GetCopy(src *DBM) *DBM {
+	d := p.Get()
+	d.CopyFrom(src)
+	return d
+}
+
+// Put releases a DBM back to the pool. nil and dimension-mismatched matrices
+// are dropped, so callers can release unconditionally.
+func (p *Pool) Put(d *DBM) {
+	if d == nil || d.dim != p.dim {
+		return
+	}
+	p.free = append(p.free, d)
+}
+
+// Stats reports how many Gets the pool served and how many of those reused a
+// released matrix (the rest allocated).
+func (p *Pool) Stats() (gets, reuses int) { return p.gets, p.reuses }

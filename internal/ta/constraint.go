@@ -103,6 +103,26 @@ func ApplyConstraints(z *dbm.DBM, cs []Constraint, vars []int64) bool {
 	return true
 }
 
+// ConstraintsFeasible reports whether no single constraint in cs alone
+// contradicts the canonical zone z: constraint xI - xJ ≺ b empties z exactly
+// when b plus the zone's reverse bound on xJ - xI drops below (≤ 0). This is
+// a necessary condition for the conjunction to intersect z, checked in
+// O(len(cs)) without copying or mutating the zone — the successor engine
+// uses it to reject clock-disabled transitions before paying for a matrix
+// copy. Joint satisfiability still requires ApplyConstraints on a copy.
+func ConstraintsFeasible(z *dbm.DBM, cs []Constraint, vars []int64) bool {
+	for _, c := range cs {
+		b := c.Resolve(vars)
+		if b == dbm.Infinity {
+			continue
+		}
+		if dbm.Add(z.At(int(c.J), int(c.I)), b) < dbm.LEZero {
+			return false
+		}
+	}
+	return true
+}
+
 // SatisfiedBy reports whether the (canonical, nonempty) zone z intersects all
 // constraints in cs without mutating z.
 func SatisfiedBy(z *dbm.DBM, cs []Constraint, vars []int64) bool {

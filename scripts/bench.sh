@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench.sh — run the Table 1 / Table 2 benchmarks and emit BENCH_<n>.json so
+# future PRs have a perf trajectory to compare against.
+#
+# Usage:
+#   scripts/bench.sh [out.json] [count]
+#
+# Defaults: out = BENCH_1.json (next free BENCH_<n>.json if it exists),
+# count = 5 (go test -count). The benchmark pattern covers the exact-checker
+# Table 1 cells, both Table 2 engine rows (sequential + Workers=NumCPU), and
+# the parallel-scaling series. Each record carries ns/op, B/op, allocs/op,
+# and — where the benchmark reports a "states" metric — states/sec.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-}"
+count="${2:-5}"
+if [ -z "$out" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    out="BENCH_${n}.json"
+fi
+
+pattern='Table1_HandleTMC_AL_po$|Table1_HandleTMC_AL_pno$|Table1_AddressLookup_po$|Table1_AddressLookup_pno$|Table2_|ParallelSup'
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running: go test -run XXX -bench '$pattern' -benchmem -count=$count ." >&2
+go test -run XXX -bench "$pattern" -benchmem -count="$count" . | tee "$raw" >&2
+
+awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters[name] += $2
+    runs[name]++
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op")     ns[name]     += $i
+        if ($(i + 1) == "B/op")      bytes[name]  += $i
+        if ($(i + 1) == "allocs/op") allocs[name] += $i
+        if ($(i + 1) == "states")    states[name] += $i
+    }
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", out_date, cpu
+    first = 1
+    for (name in runs) order[++n_names] = name
+    # stable output: sort names
+    asort_done = 0
+    for (i = 1; i <= n_names; i++)
+        for (j = i + 1; j <= n_names; j++)
+            if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        r = runs[name]
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_op\": %.0f, \"bytes_op\": %.0f, \"allocs_op\": %.0f", \
+            name, r, ns[name] / r, bytes[name] / r, allocs[name] / r
+        if (states[name] > 0 && ns[name] > 0)
+            printf ", \"states\": %.0f, \"states_per_sec\": %.0f", \
+                states[name] / r, (states[name] / r) / (ns[name] / r / 1e9)
+        printf "}"
+    }
+    printf "\n  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
