@@ -7,15 +7,20 @@
 //
 //	archcheck -model system.json [-req name] [-engine uppaal|sim|symta|rtc]
 //	          [-horizon ms] [-order bfs|df|rdf] [-max-states n] [-seed n]
-//	          [-sim-reps n] [-sim-horizon ms]
+//	          [-sim-reps n] [-sim-horizon ms] [-workers n] [-deadlock]
 //
-// With no -req, every requirement in the file is analyzed.
+// With no -req, every requirement in the file is analyzed. -workers defaults
+// to the number of CPUs; parallel runs return the same verdicts and bounds
+// as sequential ones and reconstruct replay-valid traces (which run a trace
+// documents may differ between schedules). -deadlock checks the compiled
+// system for reachable deadlocked configurations instead of computing WCRTs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -38,7 +43,8 @@ func main() {
 		dot        = flag.Bool("dot", false, "print the compiled timed-automata network as Graphviz DOT and exit")
 		uppaal     = flag.Bool("uppaal", false, "print the compiled network as UPPAAL 4.x XML and exit")
 		deploy     = flag.Bool("deploy", false, "print the deployment diagram (Figure 1 style) as Graphviz DOT and exit")
-		workers    = flag.Int("workers", 1, "parallel exploration workers for trace-free queries (uppaal engine)")
+		workers    = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers, 1 = sequential (uppaal engine)")
+		deadlock   = flag.Bool("deadlock", false, "check the compiled system for deadlocks instead of computing WCRTs")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -87,23 +93,39 @@ func main() {
 		return
 	}
 
+	var ord core.Order
+	switch *order {
+	case "bfs":
+		ord = core.BFS
+	case "df":
+		ord = core.DFS
+	case "rdf":
+		ord = core.RDFS
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+	copts := core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates, Workers: *workers}
+
+	if *deadlock {
+		// Deadlock freedom is a property of the whole compiled system; the
+		// first requirement only selects the observer compiled alongside it.
+		res, err := arch.CheckDeadlockFree(sys, reqs[0], arch.Options{HorizonMS: *horizon}, copts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deadlock-free = %v   [%s]\n", res.Free, res.Stats)
+		if !res.Free {
+			fmt.Print(res.Trace)
+			os.Exit(1)
+		}
+		return
+	}
+
 	switch *engine {
 	case "uppaal":
-		var ord core.Order
-		switch *order {
-		case "bfs":
-			ord = core.BFS
-		case "df":
-			ord = core.DFS
-		case "rdf":
-			ord = core.RDFS
-		default:
-			fatal(fmt.Errorf("unknown order %q", *order))
-		}
 		for _, req := range reqs {
 			res, err := arch.AnalyzeWCRT(sys, req,
-				arch.Options{HorizonMS: *horizon},
-				core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates, Workers: *workers})
+				arch.Options{HorizonMS: *horizon}, copts)
 			if err != nil {
 				fatal(err)
 			}

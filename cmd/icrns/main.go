@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -39,7 +40,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for randomized search and simulation")
 		simReps    = flag.Int("sim-reps", 20, "simulation replications (table 2)")
 		simHorizon = flag.Int64("sim-horizon", 60000, "simulated ms per replication (table 2)")
-		workers    = flag.Int("workers", 1, "parallel exploration workers per cell")
+		workers    = flag.Int("workers", runtime.NumCPU(),
+			"parallel exploration workers per cell; exhaustive cells are schedule-independent, but budget-truncated \"> N\" lower bounds vary run-to-run unless -workers 1")
 	)
 	flag.Parse()
 

@@ -10,13 +10,16 @@
 //	tacheck -model m.ta -dot                          Graphviz export
 //
 // Options: -order bfs|df|rdf, -seed, -max-states, -max-const (extrapolation
-// horizon for the sup clock), -workers (parallel exploration for -sup).
+// horizon for the sup clock), -workers (parallel exploration; defaults to
+// the number of CPUs and applies to every query, counterexample and witness
+// traces included).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -36,7 +39,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for rdf search")
 		maxStates = flag.Int("max-states", 0, "state budget, 0 = exhaustive")
 		maxConst  = flag.Int64("max-const", 0, "extrapolation horizon for the sup clock")
-		workers   = flag.Int("workers", 1, "parallel workers for -sup (no witness trace)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers (1 = sequential)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -62,9 +65,9 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.MaxStates = *maxStates
-	// Routing between the sequential and parallel explorer happens inside
-	// core (Options.parallelism): trace-free queries honor Workers, trace
-	// queries run sequentially.
+	// Routing between the sequential and parallel frontier happens inside
+	// core (Options.parallelism): every query kind honors Workers, and
+	// parallel runs reconstruct traces from per-worker parent logs.
 	opts.Workers = *workers
 
 	parseNet := func() *ta.Network {

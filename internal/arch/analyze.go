@@ -127,7 +127,9 @@ func AnalyzeWCRTBinary(sys *System, req *Requirement, copts Options,
 // WCRTWitness returns a human-readable symbolic trace to a configuration
 // that realizes the requirement's worst-case response time: the "critical
 // instant" schedule. It first computes the WCRT, then searches for a seen
-// state whose observer clock reaches it.
+// state whose observer clock reaches it. Both passes honor
+// opts.Workers — the unified engine reconstructs witness traces from its
+// per-worker parent logs, so critical-instant extraction scales with cores.
 func WCRTWitness(sys *System, req *Requirement, copts Options, opts core.Options) (string, WCRTResult, error) {
 	res, err := AnalyzeWCRT(sys, req, copts, opts)
 	if err != nil {
@@ -167,6 +169,45 @@ func WCRTWitness(sys *System, req *Requirement, copts Options, opts core.Options
 		return "", res, fmt.Errorf("arch: no witness found at the computed bound (truncated search?)")
 	}
 	return core.FormatTrace(c.Net, trace), res, nil
+}
+
+// DeadlockResult is the outcome of CheckDeadlockFree at the architecture
+// level.
+type DeadlockResult struct {
+	// Free reports whether no reachable configuration of the compiled
+	// system (tasks, schedulers, buses, environment, observer) deadlocks.
+	Free bool
+	// Trace is a formatted symbolic run into the deadlocked configuration
+	// when Free is false.
+	Trace string
+	Stats core.Stats
+}
+
+// CheckDeadlockFree verifies that the compiled system has no reachable
+// deadlocked configuration — a modeling-sanity check for architecture
+// descriptions (a deadlock here means the scheduler, bus, or environment
+// automata wedge each other, e.g. an event model that outpaces a full
+// queue). The requirement only selects which observer is compiled in; the
+// verdict concerns the whole system. opts.Workers parallelizes the search,
+// witness trace included.
+func CheckDeadlockFree(sys *System, req *Requirement, copts Options, opts core.Options) (DeadlockResult, error) {
+	c, err := Compile(sys, req, copts)
+	if err != nil {
+		return DeadlockResult{}, err
+	}
+	checker, err := core.NewChecker(c.Net)
+	if err != nil {
+		return DeadlockResult{}, err
+	}
+	res, err := checker.CheckDeadlockFree(opts)
+	if err != nil {
+		return DeadlockResult{}, err
+	}
+	out := DeadlockResult{Free: res.Free, Stats: res.Stats}
+	if !res.Free {
+		out.Trace = core.FormatTrace(c.Net, res.Witness)
+	}
+	return out, nil
 }
 
 // VerifyDeadline checks the timeliness requirement "response < deadlineMS"

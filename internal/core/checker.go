@@ -2,17 +2,18 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/dbm"
 	"repro/internal/ta"
 )
 
-// parallelism is the single place Options.Workers is interpreted for the
-// trace-free query kinds (SupClock, MaxVar): it reports whether to run on
-// the parallel explorer and with how many workers. Trace-producing queries
-// never consult it — trace reconstruction requires the arena only the
-// sequential Explore maintains, so they call Explore directly.
+// parallelism is the single place Options.Workers is interpreted: it reports
+// whether the unified explorer runs on the work-stealing parallel frontier
+// and with how many workers. Every query kind routes through it — Explore
+// consults it directly, so trace-producing queries (CheckSafety, Reachable,
+// CheckDeadlockFree, SupClock witnesses) honor Workers exactly like the
+// trace-free reductions; parallel runs reconstruct their traces from the
+// per-worker parent logs (explore.go).
 func (o Options) parallelism() (workers int, parallel bool) {
 	if o.Workers <= 1 {
 		return 1, false
@@ -37,7 +38,9 @@ type SafetyResult struct {
 }
 
 // CheckSafety verifies AG prop.Holds by exhaustive symbolic reachability,
-// returning a counterexample trace on violation.
+// returning a counterexample trace on violation. With Options.Workers > 1
+// the exploration is parallel and prop.Holds is evaluated concurrently —
+// pure predicates (the normal case) need no further care.
 func (c *Checker) CheckSafety(prop Property, opts Options) (SafetyResult, error) {
 	res, err := c.Explore(opts, func(s *State) bool { return !prop.Holds(s) })
 	if err != nil {
@@ -51,7 +54,8 @@ func (c *Checker) CheckSafety(prop Property, opts Options) (SafetyResult, error)
 }
 
 // Reachable reports whether a state satisfying pred is reachable, with a
-// witness trace.
+// witness trace. Workers > 1 explores in parallel; pred is then evaluated
+// concurrently.
 func (c *Checker) Reachable(pred func(*State) bool, opts Options) (bool, []TraceStep, Stats, error) {
 	res, err := c.Explore(opts, pred)
 	if err != nil {
@@ -72,10 +76,20 @@ type SupResult struct {
 	// infinity by extrapolation in some condition state, i.e. the supremum
 	// lies beyond the registered maximal constant (observation horizon).
 	Unbounded bool
-	// Witness is a trace to the state realizing Max (or the first unbounded
-	// state). It is nil when the query ran on the parallel explorer
-	// (Options.Workers > 1), which does not reconstruct traces.
+	// Witness is a trace to the first unbounded state when Unbounded is set,
+	// on the sequential and the parallel path alike. For bounded results no
+	// witness is recorded (the supremum emerges from the whole sweep, not
+	// one stop state); use Reachable against the computed bound to
+	// materialize one, as arch.WCRTWitness does.
 	Witness []TraceStep
+}
+
+// supAcc is one worker's supremum accumulator, padded so neighboring
+// workers' writes never share a cache line.
+type supAcc struct {
+	max  dbm.Bound
+	seen bool
+	_    [48]byte
 }
 
 // SupClock computes the supremum of clock over every reachable state
@@ -84,33 +98,48 @@ type SupResult struct {
 // delay is folded into those states and the zone's upper bound on the
 // measuring clock is exactly the response time of the measured event.
 //
+// Each worker reduces into its own accumulator and the results merge after
+// the exploration barrier, so the hot visitor path is lock-free on the
+// sequential and the parallel frontier alike.
+//
 // The clock's maximal constant (ta.Network.EnsureMaxConst) must be at least
 // the largest value of interest; beyond it the result degrades to Unbounded.
 func (c *Checker) SupClock(clock ta.ClockID, cond func(*State) bool, opts Options) (SupResult, error) {
-	if w, par := opts.parallelism(); par {
-		return c.SupClockParallel(clock, cond, opts, w)
-	}
-	out := SupResult{Max: dbm.LT(0)}
-	res, err := c.Explore(opts, func(s *State) bool {
-		if !cond(s) {
+	workers, parallel := opts.parallelism()
+	accs := make([]supAcc, workers)
+	visits := make([]func(*State) bool, workers)
+	for w := range visits {
+		acc := &accs[w]
+		acc.max = dbm.LT(0)
+		visits[w] = func(s *State) bool {
+			if !cond(s) {
+				return false
+			}
+			acc.seen = true
+			b := s.Zone.Sup(int(clock))
+			if b == dbm.Infinity {
+				return true // nothing larger can be learned; stop with a witness
+			}
+			if b > acc.max {
+				acc.max = b
+			}
 			return false
 		}
-		out.Seen = true
-		b := s.Zone.Sup(int(clock))
-		if b == dbm.Infinity {
-			out.Unbounded = true
-			return true // nothing larger can be learned
+	}
+	res, err := c.explore(opts, workers, parallel, visits)
+	out := SupResult{Max: dbm.LT(0), Stats: res.Stats}
+	for i := range accs {
+		out.Seen = out.Seen || accs[i].seen
+		if accs[i].max > out.Max {
+			out.Max = accs[i].max
 		}
-		if b > out.Max {
-			out.Max = b
-		}
-		return false
-	})
+	}
 	if err != nil {
 		return out, err
 	}
-	out.Stats = res.Stats
 	if res.Found {
+		out.Seen = true
+		out.Unbounded = true
 		out.Witness = res.Trace
 	}
 	return out, nil
@@ -160,10 +189,7 @@ func (c *Checker) BinarySearchWCRT(clock ta.ClockID, cond func(*State) bool,
 		if err != nil {
 			return false, err
 		}
-		out.TotalStats.Stored += sr.Stored
-		out.TotalStats.Popped += sr.Popped
-		out.TotalStats.Transitions += sr.Transitions
-		out.TotalStats.Duration += sr.Duration
+		out.TotalStats.Add(sr.Stats)
 		if sr.Truncated {
 			return false, fmt.Errorf("core: binary search exploration truncated at %d states", sr.Stored)
 		}
@@ -210,7 +236,9 @@ type DeadlockResult struct {
 // CheckDeadlockFree explores the zone graph looking for states with no
 // action successor (UPPAAL's "deadlock" property). Because stored states are
 // closed under delay, a state without successors admits no escape at any
-// future time point.
+// future time point. With Workers > 1 the search is parallel; "first" then
+// means the first deadlock any worker reaches, and the witness trace is
+// stitched from the parent logs like every other parallel trace.
 func (c *Checker) CheckDeadlockFree(opts Options) (DeadlockResult, error) {
 	opts.StopAtDeadlock = true
 	res, err := c.Explore(opts, nil)
@@ -234,42 +262,52 @@ type MaxVarResult struct {
 	Seen bool
 }
 
+// maxVarAcc is one worker's range accumulator, padded against false sharing.
+type maxVarAcc struct {
+	max, min int64
+	seen     bool
+	_        [40]byte
+}
+
 // MaxVar computes the range of an integer variable over all reachable states
 // satisfying cond (nil means all states) — e.g. the peak queue depth of a
 // pending-events counter, or the largest preemption accumulator D, the
 // quantity the paper's Section 3.1 asks to bound before model checking.
+//
+// Like SupClock, the reduction is per-worker and merges at the exploration
+// barrier: no lock anywhere, sequential or parallel.
 func (c *Checker) MaxVar(v ta.VarID, cond func(*State) bool, opts Options) (MaxVarResult, error) {
-	out := MaxVarResult{Max: -1 << 62, Min: 1<<62 - 1}
-	visit := func(s *State) bool {
-		if cond != nil && !cond(s) {
+	workers, parallel := opts.parallelism()
+	accs := make([]maxVarAcc, workers)
+	visits := make([]func(*State) bool, workers)
+	for w := range visits {
+		acc := &accs[w]
+		acc.max, acc.min = -1<<62, 1<<62-1
+		visits[w] = func(s *State) bool {
+			if cond != nil && !cond(s) {
+				return false
+			}
+			acc.seen = true
+			if s.Vars[v] > acc.max {
+				acc.max = s.Vars[v]
+			}
+			if s.Vars[v] < acc.min {
+				acc.min = s.Vars[v]
+			}
 			return false
 		}
-		out.Seen = true
-		if s.Vars[v] > out.Max {
-			out.Max = s.Vars[v]
+	}
+	opts.noTrace = true // the visitor never stops the run; skip parent logs
+	res, err := c.explore(opts, workers, parallel, visits)
+	out := MaxVarResult{Max: -1 << 62, Min: 1<<62 - 1, Stats: res.Stats}
+	for i := range accs {
+		out.Seen = out.Seen || accs[i].seen
+		if accs[i].max > out.Max {
+			out.Max = accs[i].max
 		}
-		if s.Vars[v] < out.Min {
-			out.Min = s.Vars[v]
+		if accs[i].min < out.Min {
+			out.Min = accs[i].min
 		}
-		return false
 	}
-	var res ExploreResult
-	var err error
-	if w, par := opts.parallelism(); par {
-		// Wrap the visitor in a lock only on the concurrent path; the
-		// sequential hot loop stays lock-free.
-		var mu sync.Mutex
-		res, err = c.ExploreParallel(opts, w, func(s *State) bool {
-			mu.Lock()
-			defer mu.Unlock()
-			return visit(s)
-		})
-	} else {
-		res, err = c.Explore(opts, visit)
-	}
-	if err != nil {
-		return out, err
-	}
-	out.Stats = res.Stats
-	return out, nil
+	return out, err
 }

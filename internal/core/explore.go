@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dbm"
+)
+
+// This file is the unified exploration engine. Sequential and parallel runs
+// share one worker loop (explorer.run), one statistics path, and one trace
+// mechanism; they differ only in the frontier that schedules waiting states
+// and the passed-state store behind it:
+//
+//   - Workers <= 1: a listFrontier (BFS/DFS/RDFS discipline) over the
+//     unsharded store, executed inline on the calling goroutine.
+//   - Workers > 1: a dequeFrontier of Chase–Lev work-stealing deques
+//     (wsqueue.go) over the sharded pstore, executed by that many worker
+//     goroutines.
+//
+// # Parallel trace reconstruction
+//
+// Trace queries used to be pinned to the sequential explorer because only it
+// kept an arena of live parent states. The unified engine instead keeps a
+// shared trace arena of per-worker append-only parent logs: when worker w
+// admits a state, it appends one record (parent ref, discrete key,
+// transition label) to its own log and stamps the state with the record's
+// ref (worker index in the high bits, log index in the low bits). Records
+// hold packed transition indices and discrete keys only — NEVER zone
+// pointers or State pointers — so state recycling (succCtx.putState) stays
+// sound and the zone-ownership protocol of store.go is untouched.
+//
+// When a run stops at a state (visitor match or deadlock), the trace is
+// stitched back across the logs: parent refs are followed from the stop
+// record to the root, and the recorded transitions are re-fired from the
+// initial state through the deterministic successor engine, materializing a
+// fresh, caller-owned symbolic state for every step. Replay is exact: each
+// recorded transition was fired from precisely the parent state the replay
+// reconstructs, so the stitched trace is the very path the exploration took.
+//
+// Log ownership rule: worker w appends only to logs[w] while the run is
+// live; stitch-up happens strictly after the worker barrier (or, for the
+// initial state, before workers start). No locks are needed.
+
+const (
+	// refWorkerShift packs a parent-log reference as worker<<shift | index.
+	refWorkerShift = 40
+	refIndexMask   = 1<<refWorkerShift - 1
+	// noRef marks "no record": the parent of the initial state, or any
+	// state's ref when parent logging is off.
+	noRef int64 = -1
+)
+
+// logRec is one admission record in a parent log.
+type logRec struct {
+	// parent is the ref of the record of the state this one was fired from;
+	// noRef for the initial state.
+	parent int64
+	// key is the discrete key of the admitted state, used as a consistency
+	// check during replay.
+	key uint64
+	// label identifies the fired transition by process/edge indices. Its
+	// Parts are chunk-backed stable copies (succCtx.allocParts), not scratch.
+	label Label
+}
+
+// workerLog pads each worker's log header to its own cache line: appends
+// from neighboring workers must not false-share.
+type workerLog struct {
+	recs []logRec
+	_    [5]uint64
+}
+
+// parentLogs is the shared trace arena: one append-only log per worker.
+type parentLogs struct {
+	logs []workerLog
+}
+
+func newParentLogs(workers int) *parentLogs {
+	return &parentLogs{logs: make([]workerLog, workers)}
+}
+
+// record appends an admission record to worker w's log and returns its ref.
+// Owner only.
+func (t *parentLogs) record(w int, parent int64, key uint64, label Label) int64 {
+	ref := int64(w)<<refWorkerShift | int64(len(t.logs[w].recs))
+	t.logs[w].recs = append(t.logs[w].recs, logRec{parent: parent, key: key, label: label})
+	return ref
+}
+
+// at resolves a ref. Only sound after the worker barrier.
+func (t *parentLogs) at(ref int64) logRec {
+	return t.logs[ref>>refWorkerShift].recs[ref&refIndexMask]
+}
+
+// frontier schedules admitted states between push and expansion. push and
+// expanded are called by the worker that admitted/expanded the state; pop
+// returns nil when the exploration is over for that worker (no work
+// anywhere, or the stop flag is up).
+type frontier interface {
+	push(w int, s *State)
+	pop(w int) *State
+	// expanded signals that a state obtained from pop has been fully
+	// expanded (every successor pushed); the parallel frontier counts these
+	// against its termination barrier.
+	expanded(w int)
+}
+
+// listFrontier is the sequential waiting list: FIFO for BFS, LIFO for
+// DFS/RDFS (successor shuffling happens in the worker loop).
+type listFrontier struct {
+	order Order
+	list  []*State
+	stop  *atomic.Bool
+}
+
+func (f *listFrontier) push(_ int, s *State) { f.list = append(f.list, s) }
+
+func (f *listFrontier) pop(_ int) *State {
+	if f.stop.Load() || len(f.list) == 0 {
+		return nil
+	}
+	if f.order == BFS {
+		s := f.list[0]
+		f.list = f.list[1:]
+		return s
+	}
+	s := f.list[len(f.list)-1]
+	f.list = f.list[:len(f.list)-1]
+	return s
+}
+
+func (f *listFrontier) expanded(int) {}
+
+// dequeFrontier is the work-stealing frontier: one Chase–Lev deque per
+// worker (LIFO expansion, FIFO steals) and a pending counter as termination
+// barrier. pending counts states that are admitted but not yet fully
+// expanded; it is incremented before a state becomes stealable and
+// decremented only after all of its successors have been pushed, so
+// pending == 0 is sound: no work exists and none can appear.
+type dequeFrontier struct {
+	deques  []*wsDeque
+	rngs    []*rand.Rand // per-worker victim selection
+	pending atomic.Int64
+	stop    *atomic.Bool
+}
+
+func newDequeFrontier(workers int, seed int64, stop *atomic.Bool) *dequeFrontier {
+	f := &dequeFrontier{
+		deques: make([]*wsDeque, workers),
+		rngs:   make([]*rand.Rand, workers),
+		stop:   stop,
+	}
+	for i := range f.deques {
+		f.deques[i] = newWSDeque()
+		f.rngs[i] = rand.New(rand.NewSource(seed ^ (int64(i+1) * 0x9E3779B9)))
+	}
+	return f
+}
+
+func (f *dequeFrontier) push(w int, s *State) {
+	f.pending.Add(1)
+	f.deques[w].push(s)
+}
+
+func (f *dequeFrontier) pop(w int) *State {
+	me := f.deques[w]
+	rng := f.rngs[w]
+	idleSpins := 0
+	for {
+		if f.stop.Load() {
+			return nil
+		}
+		s := me.pop()
+		for attempt := 0; s == nil && attempt < 2*len(f.deques); attempt++ {
+			if v := f.deques[rng.Intn(len(f.deques))]; v != me {
+				s = v.steal()
+			}
+		}
+		if s != nil {
+			return s
+		}
+		if f.pending.Load() == 0 {
+			return nil
+		}
+		// Someone still holds work: back off without a lock so the next
+		// push is picked up by stealing.
+		idleSpins++
+		if idleSpins < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Duration(min(idleSpins, 100)) * time.Microsecond)
+		}
+	}
+}
+
+func (f *dequeFrontier) expanded(int) { f.pending.Add(-1) }
+
+// explorer carries the shared mutable state of one exploration run. The only
+// shared structures are the passed store, the frontier, the parent logs
+// (per-worker ownership), and the atomics below.
+type explorer struct {
+	c      *Checker
+	opts   Options
+	visits []func(*State) bool // one visitor per worker, entries may be nil
+	passed passedSet
+	front  frontier
+	logs   *parentLogs // nil when no trace can be requested
+
+	stop        atomic.Bool
+	foundFlag   atomic.Bool
+	deadFlag    atomic.Bool
+	stored      atomic.Int64
+	popped      atomic.Int64
+	transitions atomic.Int64
+	deadlocks   atomic.Int64
+	truncated   atomic.Bool
+	foundState  atomic.Pointer[State]
+	foundRef    atomic.Int64
+	deadRef     atomic.Int64
+	firstErr    atomic.Pointer[error]
+}
+
+func (e *explorer) fail(err error) {
+	e.firstErr.CompareAndSwap(nil, &err)
+	e.stop.Store(true)
+}
+
+// run is the worker loop, identical for both frontiers: pop, expand, admit
+// successors, recycle the expanded state. Statistics accumulate in locals
+// and flush once on exit.
+func (e *explorer) run(w int) {
+	ctx := e.c.eng.newCtx()
+	ctx.keepLabels = e.logs != nil // labels only matter for trace records
+	visit := e.visits[w]
+	var shuffle *rand.Rand
+	if e.opts.Order == RDFS {
+		// Worker 0 reproduces the sequential RDFS stream for a given seed.
+		shuffle = rand.New(rand.NewSource(e.opts.Seed ^ (int64(w) * 0x9E3779B97F4A7C)))
+	}
+	var succs []succ
+	var nPopped, nTransitions, nDeadlocks int64
+	defer func() {
+		e.popped.Add(nPopped)
+		e.transitions.Add(nTransitions)
+		e.deadlocks.Add(nDeadlocks)
+	}()
+	for {
+		s := e.front.pop(w)
+		if s == nil {
+			return
+		}
+		nPopped++
+		var err error
+		succs, err = e.c.eng.successors(ctx, s, succs[:0])
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if len(succs) == 0 {
+			nDeadlocks++
+			if e.opts.StopAtDeadlock {
+				if e.logs != nil && e.deadFlag.CompareAndSwap(false, true) {
+					e.deadRef.Store(s.ref)
+				}
+				e.stop.Store(true)
+				return
+			}
+		}
+		if shuffle != nil {
+			shuffle.Shuffle(len(succs), func(i, j int) { succs[i], succs[j] = succs[j], succs[i] })
+		}
+		for _, sc := range succs {
+			nTransitions++
+			if !e.passed.add(sc.state, ctx.pool) {
+				// Subsumed: the state is discarded and nothing else
+				// references it, so it is recycled wholesale.
+				ctx.putState(sc.state)
+				continue
+			}
+			n := e.stored.Add(1)
+			if e.logs != nil {
+				sc.state.ref = e.logs.record(w, s.ref, sc.state.discreteKey(), sc.label)
+			}
+			if visit != nil && visit(sc.state) {
+				if e.foundFlag.CompareAndSwap(false, true) {
+					e.foundState.Store(sc.state)
+					if e.logs != nil {
+						e.foundRef.Store(sc.state.ref)
+					}
+				}
+				e.stop.Store(true)
+				return
+			}
+			if e.opts.MaxStates > 0 && n >= int64(e.opts.MaxStates) {
+				e.truncated.Store(true)
+				e.stop.Store(true)
+				return
+			}
+			e.front.push(w, sc.state)
+		}
+		e.front.expanded(w)
+		// s is fully expanded and the passed store holds its own copies of
+		// everything admitted, so recycle it wholesale.
+		ctx.putState(s)
+	}
+}
+
+// explore runs the unified engine. visits holds one visitor per worker (the
+// same closure for plain Explore, per-worker reduction closures for
+// MaxVar/SupClock) or is nil for a visitor-less sweep; workers and parallel
+// come from opts.parallelism().
+func (c *Checker) explore(opts Options, workers int, parallel bool, visits []func(*State) bool) (ExploreResult, error) {
+	start := time.Now()
+	var res ExploreResult
+	init, err := c.eng.initial()
+	if err != nil {
+		return res, err
+	}
+	if visits == nil {
+		visits = make([]func(*State) bool, workers)
+	}
+	e := &explorer{c: c, opts: opts, visits: visits}
+	e.foundRef.Store(noRef)
+	e.deadRef.Store(noRef)
+	// Parent logs exist exactly when a trace can be requested: a visitor may
+	// stop the run, or StopAtDeadlock may. Trace-free reductions (MaxVar)
+	// additionally opt out via opts.noTrace.
+	needTrace := opts.StopAtDeadlock
+	for _, v := range visits {
+		if v != nil {
+			needTrace = true
+		}
+	}
+	if needTrace && !opts.noTrace {
+		e.logs = newParentLogs(workers)
+	}
+
+	if parallel {
+		e.passed = newPStore()
+	} else {
+		e.passed = newStore(nil)
+	}
+	initPool := dbm.NewPool(c.eng.dim)
+	e.passed.add(init, initPool)
+	e.stored.Store(1)
+	init.ref = noRef
+	if e.logs != nil {
+		init.ref = e.logs.record(0, noRef, init.discreteKey(), Label{})
+	}
+
+	if v := visits[0]; v != nil && v(init) {
+		res.Found = true
+		res.FoundState = init
+		res.Stored = 1
+		if e.logs != nil {
+			res.Trace, err = c.replayTrace(e.logs, init.ref)
+		}
+		res.Duration = time.Since(start)
+		return res, err
+	}
+
+	if parallel {
+		e.front = newDequeFrontier(workers, opts.Seed, &e.stop)
+	} else {
+		e.front = &listFrontier{order: opts.Order, stop: &e.stop}
+	}
+	e.front.push(0, init)
+
+	if parallel {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func(id int) {
+				defer wg.Done()
+				e.run(id)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		e.run(0)
+	}
+
+	res.Duration = time.Since(start)
+	if ep := e.firstErr.Load(); ep != nil {
+		return res, *ep
+	}
+	res.Stored = int(e.stored.Load())
+	res.Popped = int(e.popped.Load())
+	res.Transitions = int(e.transitions.Load())
+	res.Deadlocks = int(e.deadlocks.Load())
+	res.Truncated = e.truncated.Load()
+	if fs := e.foundState.Load(); fs != nil {
+		res.Found = true
+		res.FoundState = fs
+		if ref := e.foundRef.Load(); e.logs != nil && ref != noRef {
+			if res.Trace, err = c.replayTrace(e.logs, ref); err != nil {
+				return res, err
+			}
+		}
+	}
+	if ref := e.deadRef.Load(); e.logs != nil && ref != noRef {
+		if res.DeadlockTrace, err = c.replayTrace(e.logs, ref); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// replayTrace stitches the path to ref back across the per-worker parent
+// logs and re-fires the recorded transitions from the initial state. Every
+// returned TraceStep owns a freshly materialized state (with its zone), so
+// the trace stays valid after the exploration's pools are gone. The replay
+// double-checks each step against the recorded discrete key and fails loudly
+// on any divergence — by construction there is none, since fire is
+// deterministic and each record was produced from exactly the parent state
+// the replay rebuilds.
+func (c *Checker) replayTrace(logs *parentLogs, ref int64) ([]TraceStep, error) {
+	var chain []logRec
+	for r := ref; r != noRef; {
+		rec := logs.at(r)
+		chain = append(chain, rec)
+		r = rec.parent
+	}
+	slices.Reverse(chain)
+
+	ctx := c.eng.newCtx()
+	cur, err := c.eng.initial()
+	if err != nil {
+		return nil, err
+	}
+	if cur.discreteKey() != chain[0].key {
+		return nil, fmt.Errorf("core: internal: trace log root does not match the initial state")
+	}
+	steps := make([]TraceStep, 0, len(chain))
+	steps = append(steps, TraceStep{State: cur})
+	for _, rec := range chain[1:] {
+		ns, err := c.eng.fire(ctx, cur, rec.label)
+		if err != nil {
+			return nil, fmt.Errorf("core: internal: trace replay: %w", err)
+		}
+		if ns == nil {
+			return nil, fmt.Errorf("core: internal: trace replay: transition %s not enabled",
+				rec.label.Format(c.net))
+		}
+		if ns.discreteKey() != rec.key {
+			return nil, fmt.Errorf("core: internal: trace replay diverged after %s",
+				rec.label.Format(c.net))
+		}
+		steps = append(steps, TraceStep{Label: rec.label, State: ns})
+		cur = ns
+	}
+	return steps, nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/ta"
@@ -322,6 +323,77 @@ func TestZoneEngineMatchesDiscreteOracle(t *testing.T) {
 		for k := range zone {
 			if !oracle[k] {
 				t.Errorf("trial %d: zone state %s not reachable in integer time", trial, k)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("trial %d network:\n%s", trial, net.DOT())
+		}
+	}
+}
+
+// TestParallelEngineMatchesSequentialOracle extends the oracle sweep across
+// both scheduling paths of the unified engine: on random closed models the
+// parallel explorer must reach exactly the discrete projections the
+// sequential one reaches, Reachable verdicts must agree, and every parallel
+// witness trace must replay through the successor engine (trace validity,
+// not trace equality — the parallel path may find a different run).
+func TestParallelEngineMatchesSequentialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep is slow")
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		net := randomClosedNet(r)
+		c, err := NewChecker(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(workers int) map[string]bool {
+			out := map[string]bool{}
+			var mu sync.Mutex
+			_, err := c.Explore(Options{MaxStates: 100000, Workers: workers}, func(s *State) bool {
+				mu.Lock()
+				out[fmt.Sprint(s.Locs)+"|"+fmt.Sprint(s.Vars)] = true
+				mu.Unlock()
+				return false
+			})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			return out
+		}
+		seq, par := collect(1), collect(4)
+		for k := range seq {
+			if !par[k] {
+				t.Errorf("trial %d: state %s reached sequentially but not in parallel", trial, k)
+			}
+		}
+		for k := range par {
+			if !seq[k] {
+				t.Errorf("trial %d: state %s reached in parallel but not sequentially", trial, k)
+			}
+		}
+		// Cross-check one Reachable verdict per trial: the last process
+		// leaving its initial location (reachable on most random models,
+		// unreachable on some — both verdicts must agree either way).
+		pred := func(s *State) bool { return s.Locs[1] != net.Procs[1].Init }
+		sFound, sTrace, _, err := c.Reachable(pred, Options{MaxStates: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pFound, pTrace, _, err := c.Reachable(pred, Options{MaxStates: 100000, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sFound != pFound {
+			t.Errorf("trial %d: Reachable verdicts disagree: sequential=%v parallel=%v",
+				trial, sFound, pFound)
+		}
+		if sFound {
+			assertTraceValid(t, c, sTrace)
+			assertTraceValid(t, c, pTrace)
+			if !pred(pTrace[len(pTrace)-1].State) {
+				t.Errorf("trial %d: parallel witness does not end in the target", trial)
 			}
 		}
 		if t.Failed() {

@@ -49,7 +49,7 @@ func TestParallelMatchesSequentialStateCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := c.ExploreParallel(Options{}, 4, nil)
+	par, err := c.Explore(Options{Workers: 4}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestParallelSupMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := c.SupClockParallel(sx.ID, cond, Options{}, 4)
+	par, err := c.SupClock(sx.ID, cond, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestParallelErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	c, _ := NewChecker(n)
-	if _, err := c.ExploreParallel(Options{}, 4, nil); err == nil {
+	if _, err := c.Explore(Options{Workers: 4}, nil); err == nil {
 		t.Error("variable overflow must propagate from workers")
 	}
 }
@@ -108,21 +108,29 @@ func TestParallelErrorPropagates(t *testing.T) {
 func TestParallelVisitorStops(t *testing.T) {
 	n, _, _, busy := buildGrid(t)
 	c, _ := NewChecker(n)
-	res, err := c.ExploreParallel(Options{}, 4, func(s *State) bool {
+	res, err := c.Explore(Options{Workers: 4}, func(s *State) bool {
 		return s.Locs[3] == busy
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Found || res.FoundState == nil {
-		t.Error("parallel visitor stop must record the found state")
+		t.Fatal("parallel visitor stop must record the found state")
 	}
+	if len(res.Trace) == 0 {
+		t.Fatal("parallel visitor stop must reconstruct a trace")
+	}
+	last := res.Trace[len(res.Trace)-1].State
+	if last.Locs[3] != busy {
+		t.Error("parallel trace must end in the found state")
+	}
+	assertTraceValid(t, c, res.Trace)
 }
 
 func TestParallelMaxStatesTruncates(t *testing.T) {
 	n, _, _, _ := buildGrid(t)
 	c, _ := NewChecker(n)
-	res, err := c.ExploreParallel(Options{MaxStates: 50}, 4, nil)
+	res, err := c.Explore(Options{MaxStates: 50, Workers: 4}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/ta"
@@ -35,27 +34,40 @@ func (o Order) String() string {
 
 // Options configures an exploration.
 type Options struct {
-	// Order is the search order (default BFS).
+	// Order is the search order (default BFS). The parallel frontier always
+	// expands its local deque depth-first and steals breadth-first, so with
+	// Workers > 1 the field only shapes per-worker successor handling (RDFS
+	// still shuffles) and the global order is nondeterministic.
 	Order Order
-	// Seed seeds the RDFS shuffling.
+	// Seed seeds the RDFS shuffling and the parallel frontier's victim
+	// selection.
 	Seed int64
 	// MaxStates truncates the exploration after storing this many states;
 	// 0 means unlimited. A truncated run turns exact answers into bounds,
 	// exactly as the paper's depth-first "structured testing" mode does.
+	// With Workers > 1 the admitted subset — and hence the truncated bound —
+	// depends on scheduling; keep Workers at 1 when seeded reproducibility
+	// of truncated bounds matters.
 	MaxStates int
 	// StopAtDeadlock ends the exploration at the first deadlocked state
 	// (no action successor from the state or any of its delay successors),
 	// recording a trace to it.
 	StopAtDeadlock bool
-	// Workers > 1 runs trace-free queries (SupClock, MaxVar) on the
-	// work-stealing parallel explorer with that many goroutines; the
-	// routing decision is Options.parallelism (checker.go), shared by
-	// every entry point including the cmd/ -workers flags. Queries that
-	// reconstruct traces (CheckSafety, Reachable, CheckDeadlockFree)
-	// ignore the field and always run sequentially. Note that a parallel
-	// SupClock run therefore never fills SupResult.Witness — set Workers
-	// to 1 (or 0) when the witness trace matters.
+	// Workers > 1 runs the exploration — every query kind, traces included —
+	// on the work-stealing parallel frontier with that many goroutines; 0 or
+	// 1 selects the sequential frontier. The routing decision is
+	// Options.parallelism (checker.go), the single place the field is
+	// interpreted, shared by every entry point including the cmd/ -workers
+	// flags. Parallel runs reconstruct counterexamples and witnesses from
+	// per-worker parent logs (see explore.go), so trace queries scale with
+	// cores too. Visitors and property predicates are invoked concurrently
+	// when Workers > 1 and must be safe for concurrent use.
 	Workers int
+
+	// noTrace disables parent logging for in-package queries that can prove
+	// they never request a trace (MaxVar). Zero value keeps logging on
+	// whenever a visitor or StopAtDeadlock could stop the run.
+	noTrace bool
 }
 
 // Stats reports exploration effort.
@@ -72,6 +84,18 @@ type Stats struct {
 	Truncated bool
 	// Duration is the wall-clock exploration time.
 	Duration time.Duration
+}
+
+// Add accumulates o into s: counters and Duration sum, Truncated ORs.
+// Multi-run analyses (binary search, table sweeps) aggregate through this
+// single place so a field added to Stats is never silently dropped.
+func (s *Stats) Add(o Stats) {
+	s.Stored += o.Stored
+	s.Popped += o.Popped
+	s.Transitions += o.Transitions
+	s.Deadlocks += o.Deadlocks
+	s.Truncated = s.Truncated || o.Truncated
+	s.Duration += o.Duration
 }
 
 func (s Stats) String() string {
@@ -104,129 +128,44 @@ func (c *Checker) Network() *ta.Network { return c.net }
 // matters. See the engine documentation for the mechanism.
 func (c *Checker) SetCoarseExtrapolation(coarse bool) { c.eng.extraLU = coarse }
 
-// node is an arena entry carrying parent links for trace reconstruction.
-type node struct {
-	state  *State
-	parent int
-	label  Label
-}
-
 // ExploreResult is the outcome of a reachability exploration.
 type ExploreResult struct {
 	Stats
 	// Found reports whether the visitor stopped the search.
 	Found bool
-	// FoundState is the state the visitor stopped at.
+	// FoundState is the state the visitor stopped at. It remains valid after
+	// the call (it is exempt from state recycling).
 	FoundState *State
-	// Trace is the path from the initial state to FoundState.
+	// Trace is the path from the initial state to FoundState. Its states are
+	// freshly materialized by trace replay and are owned by the caller.
 	Trace []TraceStep
 	// DeadlockTrace leads to the first deadlocked state when
 	// Options.StopAtDeadlock is set and one was found.
 	DeadlockTrace []TraceStep
 }
 
-// Explore performs symbolic reachability from the initial state. The visitor
-// is invoked once for every newly stored (non-subsumed) state, including the
+// Explore performs symbolic reachability from the initial state, sequentially
+// or work-stealing-parallel according to Options.Workers. The visitor is
+// invoked once for every newly stored (non-subsumed) state, including the
 // initial one; returning true stops the search with Found set and a trace to
 // the state. A nil visitor explores the full reachable zone graph.
+//
+// The visitor must not retain a state (or its zone) beyond the call on
+// either path: the unified engine recycles every fully-expanded state, so a
+// retained pointer is silently overwritten with later states' data.
+// FoundState and the replayed trace states are exempt. With Workers > 1 the
+// visitor is additionally called concurrently from several workers and must
+// be safe for concurrent use. Subsumption remains sound under concurrency: a
+// state admitted by two workers simultaneously is expanded at most twice
+// (harmless), never lost.
 func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult, error) {
-	start := time.Now()
-	var res ExploreResult
-	var rng *rand.Rand
-	if opts.Order == RDFS {
-		rng = rand.New(rand.NewSource(opts.Seed))
-	}
-
-	init, err := c.eng.initial()
-	if err != nil {
-		return res, err
-	}
-	ctx := c.eng.newCtx()
-	passed := newStore(ctx.pool)
-	passed.Add(init)
-	res.Stored = 1
-
-	arena := make([]node, 1, 1024)
-	arena[0] = node{state: init, parent: -1}
-	waiting := make([]int, 1, 256)
-	waiting[0] = 0
-
-	finish := func() ExploreResult {
-		res.Duration = time.Since(start)
-		return res
-	}
-	if visit != nil && visit(init) {
-		res.Found = true
-		res.FoundState = init
-		res.Trace = buildTrace(arena, 0)
-		return finish(), nil
-	}
-
-	var succs []succ
-	for len(waiting) > 0 {
-		var idx int
-		if opts.Order == BFS {
-			idx = waiting[0]
-			waiting = waiting[1:]
-		} else {
-			idx = waiting[len(waiting)-1]
-			waiting = waiting[:len(waiting)-1]
-		}
-		res.Popped++
-		cur := arena[idx]
-
-		succs, err = c.eng.successors(ctx, cur.state, succs[:0])
-		if err != nil {
-			return finish(), err
-		}
-		if len(succs) == 0 {
-			res.Deadlocks++
-			if opts.StopAtDeadlock {
-				res.DeadlockTrace = buildTrace(arena, idx)
-				return finish(), nil
-			}
-		}
-		if rng != nil {
-			rng.Shuffle(len(succs), func(i, j int) { succs[i], succs[j] = succs[j], succs[i] })
-		}
-		for _, sc := range succs {
-			res.Transitions++
-			if !passed.Add(sc.state) {
-				// Subsumed: the state is discarded and nothing else
-				// references it, so it is recycled wholesale.
-				ctx.putState(sc.state)
-				continue
-			}
-			res.Stored++
-			arena = append(arena, node{state: sc.state, parent: idx, label: sc.label})
-			ni := len(arena) - 1
-			if visit != nil && visit(sc.state) {
-				res.Found = true
-				res.FoundState = sc.state
-				res.Trace = buildTrace(arena, ni)
-				return finish(), nil
-			}
-			waiting = append(waiting, ni)
-			if opts.MaxStates > 0 && res.Stored >= opts.MaxStates {
-				res.Truncated = true
-				return finish(), nil
-			}
+	workers, parallel := opts.parallelism()
+	var visits []func(*State) bool
+	if visit != nil {
+		visits = make([]func(*State) bool, workers)
+		for i := range visits {
+			visits[i] = visit
 		}
 	}
-	return finish(), nil
-}
-
-// buildTrace walks parent links from arena index i back to the root,
-// filling the result back-to-front in a single pass.
-func buildTrace(arena []node, i int) []TraceStep {
-	depth := 0
-	for k := i; k >= 0; k = arena[k].parent {
-		depth++
-	}
-	out := make([]TraceStep, depth)
-	for k := i; k >= 0; k = arena[k].parent {
-		depth--
-		out[depth] = TraceStep{Label: arena[k].label, State: arena[k].state}
-	}
-	return out
+	return c.explore(opts, workers, parallel, visits)
 }

@@ -34,6 +34,13 @@ type State struct {
 	// is hashed by exactly one goroutine (its creator) before it is shared,
 	// so the lazy fill is race-free.
 	key uint64
+
+	// ref is the state's admission record in the exploration's parent logs
+	// (explore.go), noRef when parent logging is off. It is written once by
+	// the admitting worker before the state reaches a frontier and read by
+	// the worker that later expands it; the frontier's atomics order the
+	// two accesses.
+	ref int64
 }
 
 // LocOf returns the current location of process p.

@@ -1,9 +1,22 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/dbm"
 	"repro/internal/ta"
 )
+
+// passedSet is the passed-state interface of the unified explorer: the
+// sequential store and the sharded pstore implement the same admission
+// protocol, and the worker loop only ever talks to this. pool is the calling
+// worker's pool — the stored copy is drawn from it and pruned zones are
+// released into it.
+type passedSet interface {
+	add(s *State, pool *dbm.Pool) bool
+	size() int
+}
 
 // store is the passed-state list: per discrete state (location vector plus
 // variable valuation) it keeps a list of maximal zones. A new state is
@@ -136,13 +149,64 @@ func (e *storeEntry) admit(s *State, pool *dbm.Pool) (delta int, admitted bool) 
 	return delta + 1, true
 }
 
-// Add inserts the state unless it is subsumed, reporting whether it is new.
+// add inserts the state unless it is subsumed, reporting whether it is new;
+// the stored copy is drawn from pool and pruned zones are released into it.
 // See the type comment for the zone-ownership protocol.
-func (st *store) Add(s *State) bool {
-	delta, admitted := lookupEntry(st.buckets, s).admit(s, st.pool)
+func (st *store) add(s *State, pool *dbm.Pool) bool {
+	delta, admitted := lookupEntry(st.buckets, s).admit(s, pool)
 	st.zones += delta
 	return admitted
 }
 
+// Add is the single-pool convenience form of add, using the pool the store
+// was constructed with.
+func (st *store) Add(s *State) bool { return st.add(s, st.pool) }
+
+// size returns the number of stored maximal zones.
+func (st *store) size() int { return st.zones }
+
 // Len returns the number of stored maximal zones.
 func (st *store) Len() int { return st.zones }
+
+// pstore is the concurrent passed-state store of the parallel frontier: the
+// bucket space is sharded and each shard carries its own lock, so workers
+// exploring disjoint regions of the zone graph rarely contend. Zone
+// ownership follows the same protocol as the sequential store (see the store
+// type comment): stored zones are pool-backed copies owned exclusively by
+// the pstore, so pruned zones can be recycled into the calling worker's pool
+// even while the pruned state is still queued in some deque.
+type pstore struct {
+	shards [64]struct {
+		mu      sync.Mutex
+		buckets map[uint64][]*storeEntry
+		_       [48]byte // pad to its own cache line against false sharing
+	}
+	zones atomic.Int64
+}
+
+func newPStore() *pstore {
+	st := &pstore{}
+	for i := range st.shards {
+		st.shards[i].buckets = make(map[uint64][]*storeEntry)
+	}
+	return st
+}
+
+// add inserts the state unless it is subsumed, reporting whether it is new.
+// The subsumption logic mirrors store.add under the shard lock. pool is the
+// calling worker's pool: the stored copy is drawn from it and pruned zones
+// are released into it (pools are single-owner, so this is safe even though
+// the shard lock is shared).
+func (st *pstore) add(s *State, pool *dbm.Pool) bool {
+	sh := &st.shards[s.discreteKey()%64]
+	sh.mu.Lock()
+	delta, admitted := lookupEntry(sh.buckets, s).admit(s, pool)
+	sh.mu.Unlock()
+	if delta != 0 {
+		st.zones.Add(int64(delta))
+	}
+	return admitted
+}
+
+// size returns the number of stored maximal zones.
+func (st *pstore) size() int { return int(st.zones.Load()) }

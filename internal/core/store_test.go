@@ -76,12 +76,12 @@ func TestPStoreMatchesStore(t *testing.T) {
 	}
 	for i, s := range states {
 		a := seq.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
-		b := par.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()}, dbm.NewPool(2))
+		b := par.add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()}, dbm.NewPool(2))
 		if a != b {
-			t.Errorf("state %d: sequential Add=%v parallel Add=%v", i, a, b)
+			t.Errorf("state %d: sequential add=%v parallel add=%v", i, a, b)
 		}
 	}
-	if int64(seq.Len()) != par.zones.Load() {
-		t.Errorf("zone counts differ: %d vs %d", seq.Len(), par.zones.Load())
+	if seq.size() != par.size() {
+		t.Errorf("zone counts differ: %d vs %d", seq.size(), par.size())
 	}
 }

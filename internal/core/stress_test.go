@@ -47,7 +47,7 @@ func TestPStoreConcurrentSubsumingAdds(t *testing.T) {
 					if w%2 == 1 {
 						step = depth - s
 					}
-					st.Add(&State{Locs: locs, Vars: vars, Zone: mkZone(c, step)}, pool)
+					st.add(&State{Locs: locs, Vars: vars, Zone: mkZone(c, step)}, pool)
 				}
 			}
 		}(w)
@@ -68,8 +68,8 @@ func TestPStoreConcurrentSubsumingAdds(t *testing.T) {
 	if len(zones) != chains {
 		t.Errorf("stored %d zones, want %d (one maximal zone per chain)", len(zones), chains)
 	}
-	if st.Len() != len(zones) {
-		t.Errorf("Len() = %d, but %d zones stored", st.Len(), len(zones))
+	if st.size() != len(zones) {
+		t.Errorf("size() = %d, but %d zones stored", st.size(), len(zones))
 	}
 	// Every chain's maximal zone must be covered by some stored zone.
 	for c := 0; c < chains; c++ {
@@ -95,9 +95,10 @@ func TestPStoreConcurrentSubsumingAdds(t *testing.T) {
 	}
 }
 
-// TestExploreParallelStressMatchesSequential runs the work-stealing explorer
-// repeatedly with many workers against the sequential oracle. Run with
-// -race to exercise the deque and termination barrier.
+// TestExploreParallelStressMatchesSequential runs the unified engine's
+// work-stealing frontier repeatedly with many workers against the
+// sequential oracle. Run with -race to exercise the deque and termination
+// barrier.
 func TestExploreParallelStressMatchesSequential(t *testing.T) {
 	n, sx, srv, busy := buildGrid(t)
 	_ = srv
@@ -120,7 +121,7 @@ func TestExploreParallelStressMatchesSequential(t *testing.T) {
 	}
 	for r := 0; r < rounds; r++ {
 		for _, workers := range []int{2, 4, 8} {
-			par, err := c.ExploreParallel(Options{Seed: int64(r)}, workers, nil)
+			par, err := c.Explore(Options{Seed: int64(r), Workers: workers}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,7 +130,7 @@ func TestExploreParallelStressMatchesSequential(t *testing.T) {
 				t.Errorf("round %d workers %d: parallel stored %d < sequential %d",
 					r, workers, par.Stored, seq.Stored)
 			}
-			sup, err := c.SupClockParallel(sx.ID, atBusy, Options{Seed: int64(r)}, workers)
+			sup, err := c.SupClock(sx.ID, atBusy, Options{Seed: int64(r), Workers: workers})
 			if err != nil {
 				t.Fatal(err)
 			}

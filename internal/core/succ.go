@@ -68,9 +68,9 @@ type succCtx struct {
 	chunk []LabelPart
 
 	// keepLabels controls whether fired labels get stable Parts copies.
-	// The sequential explorer needs them (arena nodes keep labels for
-	// trace reconstruction); the parallel explorer discards labels, so its
-	// workers turn this off and successors nil the Parts instead.
+	// Explorations with parent logging on need them (log records keep
+	// labels for trace replay, explore.go); trace-free sweeps turn this
+	// off and successors nil the Parts instead.
 	keepLabels bool
 }
 
@@ -108,11 +108,13 @@ func (ctx *succCtx) getState() *State {
 		ctx.states[n-1] = nil
 		ctx.states = ctx.states[:n-1]
 		s.key = 0
+		s.ref = noRef
 		return s
 	}
 	return &State{
 		Locs: make([]ta.LocID, len(ctx.locs)),
 		Vars: make([]int64, len(ctx.vars)),
+		ref:  noRef,
 	}
 }
 

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dbm"
+	"repro/internal/ta"
+)
+
+// This file is the trace-replay oracle: every counterexample or witness a
+// query returns — from the sequential and the parallel engine alike — is
+// re-fired through the successor engine, asserting that each step is an
+// enabled transition of its predecessor and that the path ends in the state
+// the query stopped on. Run together with the rest of the core package
+// under -race (CI does), these tests exercise the parent-log stitching
+// across concurrently written worker logs.
+
+func sameLabel(a, b Label) bool {
+	if a.Kind != b.Kind || a.Chan != b.Chan || len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameState(a, b *State) bool {
+	if len(a.Locs) != len(b.Locs) || len(a.Vars) != len(b.Vars) {
+		return false
+	}
+	for i := range a.Locs {
+		if a.Locs[i] != b.Locs[i] {
+			return false
+		}
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return false
+		}
+	}
+	return a.Zone.Eq(b.Zone)
+}
+
+// assertTraceValid re-fires the trace through the successor engine: step 0
+// must equal the initial symbolic state, and every later step must be one of
+// the enabled successors of its predecessor with the recorded label and the
+// exact same symbolic state (discrete part and zone).
+func assertTraceValid(t *testing.T, c *Checker, trace []TraceStep) {
+	t.Helper()
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	init, err := c.eng.initial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameState(trace[0].State, init) {
+		t.Fatalf("trace step 0 is not the initial state: %s", trace[0].State.Format(c.net))
+	}
+	ctx := c.eng.newCtx()
+	cur := init
+	for i, step := range trace[1:] {
+		succs, err := c.eng.successors(ctx, cur, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var match *State
+		for _, sc := range succs {
+			if sameLabel(sc.label, step.Label) && sameState(sc.state, step.State) {
+				match = sc.state
+				break
+			}
+		}
+		if match == nil {
+			t.Fatalf("trace step %d (%s -> %s) is not an enabled successor",
+				i+1, step.Label.Format(c.net), step.State.Format(c.net))
+		}
+		cur = match
+	}
+}
+
+// assertDeadlocked verifies the trace's final state has no action successor.
+func assertDeadlocked(t *testing.T, c *Checker, trace []TraceStep) {
+	t.Helper()
+	last := trace[len(trace)-1].State
+	succs, err := c.eng.successors(c.eng.newCtx(), last, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succs) != 0 {
+		t.Errorf("deadlock witness ends in a state with %d successors", len(succs))
+	}
+}
+
+// TestSafetyCounterexampleReplaysBothEngines runs the same violated safety
+// property sequentially and with 4 workers: both verdicts must agree and
+// both counterexamples must replay (trace validity, not trace equality —
+// the parallel path may find a different violating run).
+func TestSafetyCounterexampleReplaysBothEngines(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := Property{
+		Desc:  "rec stays below 2",
+		Holds: func(s *State) bool { return s.Vars[0] < 2 },
+	}
+	verdicts := map[string]bool{}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sequential", Options{}},
+		{"parallel", Options{Workers: 4}},
+	} {
+		sr, err := c.CheckSafety(prop, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts[tc.name] = sr.Holds
+		if sr.Holds {
+			continue
+		}
+		if len(sr.Counterexample) == 0 {
+			t.Fatalf("%s: violated property must carry a counterexample", tc.name)
+		}
+		assertTraceValid(t, c, sr.Counterexample)
+		last := sr.Counterexample[len(sr.Counterexample)-1].State
+		if prop.Holds(last) {
+			t.Errorf("%s: counterexample does not end in a violating state", tc.name)
+		}
+	}
+	if verdicts["sequential"] != verdicts["parallel"] {
+		t.Errorf("verdicts disagree: sequential=%v parallel=%v",
+			verdicts["sequential"], verdicts["parallel"])
+	}
+	if verdicts["sequential"] {
+		t.Error("rec reaches 2 in the grid; property must be violated")
+	}
+}
+
+// TestReachableWitnessReplaysBothEngines compares Reachable across both
+// engines and replays both witnesses.
+func TestReachableWitnessReplaysBothEngines(t *testing.T) {
+	n, _, _, busy := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atBusy := func(s *State) bool { return s.Locs[3] == busy }
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sequential", Options{}},
+		{"parallel", Options{Workers: 4}},
+	} {
+		found, trace, _, err := c.Reachable(atBusy, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("%s: busy must be reachable", tc.name)
+		}
+		if len(trace) == 0 {
+			t.Fatalf("%s: witness must be non-nil", tc.name)
+		}
+		assertTraceValid(t, c, trace)
+		if !atBusy(trace[len(trace)-1].State) {
+			t.Errorf("%s: witness does not end in a busy state", tc.name)
+		}
+	}
+}
+
+// TestSupClockUnboundedWitnessReplaysBothEngines drives the one SupClock
+// case that stops with a witness — an extrapolated-to-infinity clock — on
+// both engines. The grid's y clock is never reset, so its supremum at any
+// busy state lies beyond the horizon.
+func TestSupClockUnboundedWitnessReplaysBothEngines(t *testing.T) {
+	n, _, _, busy := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := FindClock(n, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atBusy := func(s *State) bool { return s.Locs[3] == busy }
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sequential", Options{}},
+		{"parallel", Options{Workers: 4}},
+	} {
+		sup, err := c.SupClock(y.ID, atBusy, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sup.Unbounded || !sup.Seen {
+			t.Fatalf("%s: y at busy must be beyond the horizon (unbounded=%v seen=%v)",
+				tc.name, sup.Unbounded, sup.Seen)
+		}
+		if len(sup.Witness) == 0 {
+			t.Fatalf("%s: unbounded supremum must carry a witness trace", tc.name)
+		}
+		assertTraceValid(t, c, sup.Witness)
+		last := sup.Witness[len(sup.Witness)-1]
+		if !atBusy(last.State) || last.State.Zone.Sup(int(y.ID)) != dbm.Infinity {
+			t.Errorf("%s: witness does not end in an unbounded busy state", tc.name)
+		}
+	}
+}
+
+// TestDeadlockWitnessReplaysBothEngines compares CheckDeadlockFree across
+// both engines on a deadlocking model and replays both witnesses.
+func TestDeadlockWitnessReplaysBothEngines(t *testing.T) {
+	n := ta.NewNetwork("dead")
+	x := n.AddClock("x")
+	p := n.AddProcess("P")
+	l0 := p.AddLocation("l0", ta.Normal, ta.CLE(x, 3))
+	l1 := p.AddLocation("stuck", ta.Normal)
+	p.AddEdge(ta.Edge{Src: l0, Dst: l1, ClockGuard: ta.CEq(x, 3)})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sequential", Options{}},
+		{"parallel", Options{Workers: 4}},
+	} {
+		res, err := c.CheckDeadlockFree(tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Free {
+			t.Fatalf("%s: absorbing location must be reported as a deadlock", tc.name)
+		}
+		if len(res.Witness) == 0 {
+			t.Fatalf("%s: deadlock verdict must carry a witness", tc.name)
+		}
+		assertTraceValid(t, c, res.Witness)
+		assertDeadlocked(t, c, res.Witness)
+	}
+}
+
+// TestParallelTraceStressReplays hammers the parallel trace machinery: many
+// rounds at several worker counts, every returned trace replayed. Together
+// with -race this exercises concurrent parent-log appends and cross-log
+// stitching.
+func TestParallelTraceStressReplays(t *testing.T) {
+	n, _, _, busy := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deep target: the server has been busy and all generators have
+	// re-armed at least once.
+	deep := func(s *State) bool { return s.Locs[3] == busy && s.Vars[0] >= 2 }
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		for _, workers := range []int{2, 4, 8} {
+			found, trace, _, err := c.Reachable(deep, Options{Seed: int64(r), Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found || len(trace) == 0 {
+				t.Fatalf("round %d workers %d: deep state must be reachable with a trace", r, workers)
+			}
+			assertTraceValid(t, c, trace)
+			if !deep(trace[len(trace)-1].State) {
+				t.Errorf("round %d workers %d: trace does not end in the target", r, workers)
+			}
+		}
+	}
+}
+
+// TestMaxVarStopAtDeadlockNoTrace pins the interaction between the noTrace
+// fast path and StopAtDeadlock: MaxVar disables parent logging, so a
+// deadlock stop must complete without attempting (and crashing on) a trace
+// replay against nil logs.
+func TestMaxVarStopAtDeadlockNoTrace(t *testing.T) {
+	n := ta.NewNetwork("deadvar")
+	x := n.AddClock("x")
+	v := n.AddVar("v", 0, 0, 3)
+	p := n.AddProcess("P")
+	l0 := p.AddLocation("l0", ta.Normal, ta.CLE(x, 3))
+	l1 := p.AddLocation("stuck", ta.Normal)
+	p.AddEdge(ta.Edge{Src: l0, Dst: l1, ClockGuard: ta.CEq(x, 3), Update: ta.Inc(v, 1)})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := c.MaxVar(v.ID, nil, Options{StopAtDeadlock: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Seen || res.Max != 1 {
+			t.Errorf("workers %d: v range = [%d,%d] seen=%v, want max 1",
+				workers, res.Min, res.Max, res.Seen)
+		}
+	}
+}
+
+// TestStatsAddCoversEveryField walks Stats by reflection so a counter added
+// later cannot be silently dropped from Add — the failure BinarySearchWCRT's
+// hand-summing used to risk.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		switch av.Field(i).Kind() {
+		case reflect.Int, reflect.Int64:
+			av.Field(i).SetInt(int64(3 + 7*i))
+			bv.Field(i).SetInt(int64(11 + 13*i))
+		case reflect.Bool:
+			bv.Field(i).SetBool(true)
+		default:
+			t.Fatalf("unhandled Stats field kind %v; extend this test and Stats.Add", av.Field(i).Kind())
+		}
+	}
+	sum := a
+	sum.Add(b)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		name := sv.Type().Field(i).Name
+		switch sv.Field(i).Kind() {
+		case reflect.Int, reflect.Int64:
+			want := av.Field(i).Int() + bv.Field(i).Int()
+			if sv.Field(i).Int() != want {
+				t.Errorf("Stats.Add drops field %s: got %d, want %d", name, sv.Field(i).Int(), want)
+			}
+		case reflect.Bool:
+			if !sv.Field(i).Bool() {
+				t.Errorf("Stats.Add drops bool field %s", name)
+			}
+		}
+	}
+	if a.Duration+b.Duration != sum.Duration {
+		t.Errorf("durations must sum: %v + %v != %v", a.Duration, b.Duration, sum.Duration)
+	}
+}

@@ -52,7 +52,8 @@ type CellOptions struct {
 	FallbackStates int
 	// Seed feeds the randomized fallback search.
 	Seed int64
-	// Workers > 1 enables parallel exploration per cell.
+	// Workers > 1 enables parallel exploration per cell, witness traces
+	// included.
 	Workers int
 }
 
@@ -247,7 +248,7 @@ func Witness(row Row, col Column, opts CellOptions) (string, arch.WCRTResult, er
 	}
 	return arch.WCRTWitness(sys, req,
 		arch.Options{HorizonMS: HorizonMS(row.Req)},
-		core.Options{MaxStates: opts.MaxStates})
+		core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
 }
 
 // Deadlines lists the timeliness requirements annotated in the paper's

@@ -28,7 +28,9 @@ trap 'rm -f "$raw"' EXIT
 echo "running: go test -run XXX -bench '$pattern' -benchmem -count=$count ." >&2
 go test -run XXX -bench "$pattern" -benchmem -count="$count" . | tee "$raw" >&2
 
-awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+cores="$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n1 )"
+
+awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cores="$cores" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -42,7 +44,7 @@ awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     }
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", out_date, cpu
+    printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"cores\": %d,\n  \"benchmarks\": [\n", out_date, cpu, cores
     first = 1
     for (name in runs) order[++n_names] = name
     # stable output: sort names
