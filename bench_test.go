@@ -295,6 +295,83 @@ func BenchmarkCompileCaseStudy(b *testing.B) {
 	}
 }
 
+// --- Multi-requirement analysis: batch (one exploration) vs sequential ---
+
+// multiReqSystem returns the tractable Table 1 combination with both of its
+// requirements, the workload the query-set engine amortizes: k observers in
+// one network, k suprema from one sweep.
+func multiReqSystem() (*arch.System, []*arch.Requirement) {
+	sys, reqs := icrns.Build(icrns.ComboAL, icrns.ColPNO, icrns.DefaultConfig())
+	return sys, []*arch.Requirement{reqs[icrns.ReqHandleTMC], reqs[icrns.ReqAddressLookup]}
+}
+
+func multiReqHorizon(r *arch.Requirement) int64 { return icrns.HorizonMS(r.Name) }
+
+// BenchmarkMultiReq_AL_pno_Sequential is the historical shape: one
+// compilation + one exploration per requirement.
+func BenchmarkMultiReq_AL_pno_Sequential(b *testing.B) {
+	sys, reqs := multiReqSystem()
+	states := 0
+	for i := 0; i < b.N; i++ {
+		states = 0
+		for _, req := range reqs {
+			res, err := arch.AnalyzeWCRT(sys, req,
+				arch.Options{HorizonMS: multiReqHorizon(req)}, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			states += res.Stats.Stored
+		}
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkMultiReq_AL_pno_Batch answers the same requirements from ONE
+// compiled network and ONE exploration (arch.AnalyzeAll).
+func BenchmarkMultiReq_AL_pno_Batch(b *testing.B) {
+	sys, reqs := multiReqSystem()
+	var res *arch.AllResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = arch.AnalyzeAll(sys, reqs,
+			arch.Options{HorizonMSFor: multiReqHorizon}, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Stats.Stored), "states")
+}
+
+// BenchmarkMultiReq_AL_pno_Batch_Parallel runs the batch sweep on the
+// work-stealing frontier.
+func BenchmarkMultiReq_AL_pno_Batch_Parallel(b *testing.B) {
+	sys, reqs := multiReqSystem()
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.AnalyzeAll(sys, reqs,
+			arch.Options{HorizonMSFor: multiReqHorizon}, core.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiReq_BinarySearch measures the rebuilt Property 1 procedure,
+// which now answers every bisection threshold from a single sweep instead of
+// re-exploring per iteration.
+func BenchmarkMultiReq_BinarySearch(b *testing.B) {
+	sys, reqs := icrns.Build(icrns.ComboAL, icrns.ColPO, icrns.DefaultConfig())
+	req := reqs[icrns.ReqAddressLookup]
+	for i := 0; i < b.N; i++ {
+		if _, _, err := arch.AnalyzeWCRTBinary(sys, req, arch.Options{HorizonMS: 500},
+			core.Options{}, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Parallel explorer scaling ---
 
 func benchParallelSup(b *testing.B, workers int) {

@@ -7,9 +7,13 @@
 //
 //	archcheck -model system.json [-req name] [-engine uppaal|sim|symta|rtc]
 //	          [-horizon ms] [-order bfs|df|rdf] [-max-states n] [-seed n]
-//	          [-sim-reps n] [-sim-horizon ms] [-workers n] [-deadlock]
+//	          [-sim-reps n] [-sim-horizon ms] [-workers n] [-deadlock] [-all]
 //
-// With no -req, every requirement in the file is analyzed. -workers defaults
+// With no -req, every requirement in the file is analyzed. When several
+// requirements are analyzed with the uppaal engine, -all (the default)
+// compiles them into ONE network — one measuring observer each — and answers
+// every WCRT from a single exploration (arch.AnalyzeAll); -all=false forces
+// the historical one-exploration-per-requirement behavior. -workers defaults
 // to the number of CPUs; parallel runs return the same verdicts and bounds
 // as sequential ones and reconstruct replay-valid traces (which run a trace
 // documents may differ between schedules). -deadlock checks the compiled
@@ -45,6 +49,7 @@ func main() {
 		deploy     = flag.Bool("deploy", false, "print the deployment diagram (Figure 1 style) as Graphviz DOT and exit")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers, 1 = sequential (uppaal engine)")
 		deadlock   = flag.Bool("deadlock", false, "check the compiled system for deadlocks instead of computing WCRTs")
+		all        = flag.Bool("all", true, "answer all requirements from one compiled network and one exploration (uppaal engine)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -123,6 +128,22 @@ func main() {
 
 	switch *engine {
 	case "uppaal":
+		if *all && len(reqs) > 1 {
+			res, err := arch.AnalyzeAll(sys, reqs, arch.Options{HorizonMS: *horizon}, copts)
+			if err != nil {
+				fatal(err)
+			}
+			for i, req := range reqs {
+				r := res.Results[i]
+				kind := "exact WCRT"
+				if !r.Exact {
+					kind = "lower bound"
+				}
+				fmt.Printf("%-20s %s = %s ms\n", req.Name, kind, r.MS.FloatString(3))
+			}
+			fmt.Printf("(%d requirements from one exploration: %s)\n", len(reqs), res.Stats)
+			return
+		}
 		for _, req := range reqs {
 			res, err := arch.AnalyzeWCRT(sys, req,
 				arch.Options{HorizonMS: *horizon}, copts)

@@ -9,6 +9,11 @@
 //	tacheck -model m.ta -deadlock                     deadlock freedom
 //	tacheck -model m.ta -dot                          Graphviz export
 //
+// The query flags combine: any subset of -reach, -safety, -sup, -deadlock
+// given together attaches all of them to ONE exploration of the zone graph
+// (core.RunQueries) — each query completes independently and the sweep stops
+// once every answer is known, so k questions cost one sweep instead of k.
+//
 // Options: -order bfs|df|rdf, -seed, -max-states, -max-const (extrapolation
 // horizon for the sup clock), -workers (parallel exploration; defaults to
 // the number of CPUs and applies to every query, counterexample and witness
@@ -78,102 +83,119 @@ func main() {
 		return net
 	}
 
-	switch {
-	case *dot:
+	if *dot {
 		fmt.Print(parseNet().DOT())
-
-	case *uppaal:
+		return
+	}
+	if *uppaal {
 		fmt.Print(parseNet().UPPAALXML())
+		return
+	}
 
-	case *reach != "":
-		net := parseNet()
-		checker := mustChecker(net)
+	// Resolve the network once. The extrapolation horizon of a -sup query
+	// must be registered before Finalize, so that case re-parses with the
+	// constant injected; every requested query then runs against the same
+	// network in ONE exploration.
+	var (
+		net      *ta.Network
+		supClock ta.Clock
+	)
+	supClockName, supPredStr := "", ""
+	if *sup != "" {
+		var cut bool
+		supClockName, supPredStr, cut = strings.Cut(*sup, "@")
+		if !cut {
+			fatal(fmt.Errorf("sup query must be \"clock @ predicate\""))
+		}
+		supClockName = strings.TrimSpace(supClockName)
+		supPredStr = strings.TrimSpace(supPredStr)
+	}
+	if *sup != "" && *maxConst > 0 {
+		net, supClock, err = reparseWithHorizon(string(data), supClockName, *maxConst)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		net = parseNet()
+		if *sup != "" {
+			if supClock, err = core.FindClock(net, supClockName); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Attach every requested query to one query set; report in flag order.
+	var queries []core.Query
+	var report []func()
+	if *reach != "" {
 		pred, err := core.ParsePredicate(net, *reach)
 		if err != nil {
 			fatal(err)
 		}
-		found, trace, stats, err := checker.Reachable(pred, opts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("reachable(%s) = %v   [%s]\n", *reach, found, stats)
-		if found {
-			fmt.Print(core.FormatTrace(net, trace))
-		}
-
-	case *safety != "":
-		net := parseNet()
-		checker := mustChecker(net)
+		q := core.NewReachQuery(pred)
+		queries = append(queries, q)
+		report = append(report, func() {
+			fmt.Printf("reachable(%s) = %v   [%s]\n", *reach, q.Found, q.Stats)
+			if q.Found {
+				fmt.Print(core.FormatTrace(net, q.Trace))
+			}
+		})
+	}
+	if *safety != "" {
 		pred, err := core.ParsePredicate(net, *safety)
 		if err != nil {
 			fatal(err)
 		}
-		res, err := checker.CheckSafety(core.Property{Desc: *safety, Holds: pred}, opts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("AG(%s) = %v   [%s]\n", *safety, res.Holds, res.Stats)
-		if !res.Holds {
-			fmt.Print(core.FormatTrace(net, res.Counterexample))
-		}
-
-	case *sup != "":
-		clockName, predStr, found := strings.Cut(*sup, "@")
-		if !found {
-			fatal(fmt.Errorf("sup query must be \"clock @ predicate\""))
-		}
-		// The extrapolation horizon must be registered before Finalize, so
-		// re-parse with the constant injected.
-		net, err := ta.Parse(string(data))
-		if err != nil {
-			fatal(err)
-		}
-		clock, err := core.FindClock(net, strings.TrimSpace(clockName))
-		if err != nil {
-			fatal(err)
-		}
-		if *maxConst > 0 {
-			// Parse unfinalized? ta.Parse finalizes; EnsureMaxConst must
-			// precede it. Rebuild via the pre-registration hook below.
-			net, clock, err = reparseWithHorizon(string(data), strings.TrimSpace(clockName), *maxConst)
-			if err != nil {
-				fatal(err)
+		// AG(pred) as a query: reach its negation; the witness is the
+		// counterexample.
+		q := core.NewReachQuery(func(s *core.State) bool { return !pred(s) })
+		queries = append(queries, q)
+		report = append(report, func() {
+			fmt.Printf("AG(%s) = %v   [%s]\n", *safety, !q.Found, q.Stats)
+			if q.Found {
+				fmt.Print(core.FormatTrace(net, q.Trace))
 			}
-		}
-		checker := mustChecker(net)
-		pred, err := core.ParsePredicate(net, strings.TrimSpace(predStr))
+		})
+	}
+	if *sup != "" {
+		pred, err := core.ParsePredicate(net, supPredStr)
 		if err != nil {
 			fatal(err)
 		}
-		res, err := checker.SupClock(clock.ID, pred, opts)
-		if err != nil {
-			fatal(err)
-		}
-		switch {
-		case !res.Seen:
-			fmt.Printf("sup %s: predicate unreachable   [%s]\n", *sup, res.Stats)
-		case res.Unbounded:
-			fmt.Printf("sup %s: beyond extrapolation horizon (raise -max-const)   [%s]\n", *sup, res.Stats)
-		default:
-			fmt.Printf("sup %s = %v   [%s]\n", *sup, res.Max, res.Stats)
-		}
-
-	case *deadlock:
-		net := parseNet()
-		checker := mustChecker(net)
-		res, err := checker.CheckDeadlockFree(opts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("deadlock-free = %v   [%s]\n", res.Free, res.Stats)
-		if !res.Free {
-			fmt.Print(core.FormatTrace(net, res.Witness))
-		}
-
-	default:
+		q := core.NewSupClockQuery(supClock.ID, pred)
+		queries = append(queries, q)
+		report = append(report, func() {
+			res := q.Result
+			switch {
+			case !res.Seen:
+				fmt.Printf("sup %s: predicate unreachable   [%s]\n", *sup, res.Stats)
+			case res.Unbounded:
+				fmt.Printf("sup %s: beyond extrapolation horizon (raise -max-const)   [%s]\n", *sup, res.Stats)
+			default:
+				fmt.Printf("sup %s = %v   [%s]\n", *sup, res.Max, res.Stats)
+			}
+		})
+	}
+	if *deadlock {
+		q := core.NewDeadlockQuery()
+		queries = append(queries, q)
+		report = append(report, func() {
+			fmt.Printf("deadlock-free = %v   [%s]\n", q.Result.Free, q.Result.Stats)
+			if !q.Result.Free {
+				fmt.Print(core.FormatTrace(net, q.Result.Witness))
+			}
+		})
+	}
+	if len(queries) == 0 {
 		fmt.Fprintln(os.Stderr, "tacheck: one of -reach, -safety, -sup, -deadlock, -dot is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if _, err := mustChecker(net).RunQueries(opts, queries...); err != nil {
+		fatal(err)
+	}
+	for _, r := range report {
+		r()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/core"
 	"repro/internal/ta"
 )
 
@@ -17,6 +18,12 @@ type Options struct {
 	// milliseconds: response times up to this value are computed exactly,
 	// anything beyond reports as unbounded. Default 2000.
 	HorizonMS int64
+	// HorizonMSFor optionally overrides HorizonMS per requirement in batch
+	// compilation (CompileAll, AnalyzeAll), so requirements with very
+	// different time scales each get a tight extrapolation horizon in the
+	// shared network. nil, or a non-positive return, falls back to
+	// HorizonMS.
+	HorizonMSFor func(*Requirement) int64
 }
 
 func (o Options) withDefaults() Options {
@@ -50,41 +57,116 @@ type Compiled struct {
 // UnitsToMS converts a model-time value to exact milliseconds.
 func (c *Compiled) UnitsToMS(u int64) *big.Rat { return unitsToMS(u, c.Scale) }
 
+// CompiledSet is a system description translated once for a whole set of
+// requirements: one network carrying N measuring observers (Fig. 9), each
+// with its own clock and "seen" location, listening on shared broadcast
+// completion channels. One exploration of this network answers every
+// requirement (see AnalyzeAll); the observers are pure listeners — they
+// never emit, guard only their own variables, and pass through committed
+// zero-time states — so each one measures exactly what it would measure
+// compiled alone.
+type CompiledSet struct {
+	Sys   *System
+	Reqs  []*Requirement
+	Net   *ta.Network
+	Scale *big.Int // model time units per millisecond
+	// Horizons holds each requirement's observation horizon in units,
+	// parallel to Reqs.
+	Horizons []int64
+	// Obs locates each requirement's measuring automaton, parallel to Reqs.
+	Obs []Observer
+}
+
+// UnitsToMS converts a model-time value to exact milliseconds.
+func (cs *CompiledSet) UnitsToMS(u int64) *big.Rat { return unitsToMS(u, cs.Scale) }
+
+// AtSeen returns the state predicate "observer i is in its seen location".
+func (cs *CompiledSet) AtSeen(i int) func(*core.State) bool {
+	proc, seen := cs.Obs[i].Proc, cs.Obs[i].Seen
+	return func(s *core.State) bool { return s.Locs[proc] == seen }
+}
+
 // Compile translates the system plus one requirement into a network of timed
 // automata following the paper's patterns: one automaton per processor
 // (Fig. 4 or Fig. 5 depending on the scheduler), one per bus (Fig. 6), one
 // environment automaton per scenario (Fig. 7a–d, Fig. 8), and one measuring
-// observer (Fig. 9) for the requirement.
+// observer (Fig. 9) for the requirement. It is the one-requirement special
+// case of CompileAll, and produces the identical network it always has.
 func Compile(sys *System, req *Requirement, opts Options) (*Compiled, error) {
+	if req == nil {
+		return nil, fmt.Errorf("arch: Compile needs a requirement to observe")
+	}
+	cs, err := CompileAll(sys, []*Requirement{req}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Sys: sys, Req: req, Net: cs.Net,
+		Scale: cs.Scale, Horizon: cs.Horizons[0], Obs: cs.Obs[0],
+	}, nil
+}
+
+// CompileAll translates the system plus every requirement into ONE network:
+// the environment, processor, and bus automata are built exactly once, and
+// one measuring observer per requirement is attached. Observation signals
+// (injection of a scenario, completion of a step) become broadcast channels
+// shared by every observer that listens to them, so a step completion that
+// ends one requirement's span and starts another's is a single edge heard by
+// both observers.
+//
+// The horizon of each observer comes from Options.HorizonMSFor when set,
+// else Options.HorizonMS. Requirement names must be unique within one
+// compilation (they name the observer automata).
+func CompileAll(sys *System, reqs []*Requirement, opts Options) (*CompiledSet, error) {
 	opts = opts.withDefaults()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	if req == nil {
-		return nil, fmt.Errorf("arch: Compile needs a requirement to observe")
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("arch: CompileAll needs at least one requirement to observe")
 	}
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	if sys.ScenarioByName(req.Scenario.Name) != req.Scenario {
-		return nil, fmt.Errorf("arch: requirement %s references a scenario outside the system", req.Name)
+	names := map[string]bool{}
+	for _, req := range reqs {
+		if req == nil {
+			return nil, fmt.Errorf("arch: CompileAll: nil requirement")
+		}
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		if sys.ScenarioByName(req.Scenario.Name) != req.Scenario {
+			return nil, fmt.Errorf("arch: requirement %s references a scenario outside the system", req.Name)
+		}
+		if names[req.Name] {
+			return nil, fmt.Errorf("arch: duplicate requirement name %q in one compilation", req.Name)
+		}
+		names[req.Name] = true
 	}
 	scale, err := computeScale(sys)
 	if err != nil {
 		return nil, err
 	}
-	horizon, err := toUnits(new(big.Rat).SetInt64(opts.HorizonMS), scale)
-	if err != nil {
-		return nil, err
+	horizons := make([]int64, len(reqs))
+	for i, req := range reqs {
+		ms := opts.HorizonMS
+		if opts.HorizonMSFor != nil {
+			if h := opts.HorizonMSFor(req); h > 0 {
+				ms = h
+			}
+		}
+		if horizons[i], err = toUnits(new(big.Rat).SetInt64(ms), scale); err != nil {
+			return nil, err
+		}
 	}
 
 	b := &builder{
-		sys:   sys,
-		req:   req,
-		opts:  opts,
-		scale: scale,
-		net:   ta.NewNetwork(sys.Name),
-		qv:    map[*Scenario][]ta.IntVar{},
+		sys:      sys,
+		reqs:     reqs,
+		opts:     opts,
+		scale:    scale,
+		net:      ta.NewNetwork(sys.Name),
+		qv:       map[*Scenario][]ta.IntVar{},
+		injectCh: map[*Scenario]ta.ChanID{},
+		doneCh:   map[scStep]ta.ChanID{},
 	}
 	b.hurry = b.net.AddChan("hurry", ta.BroadcastUrgent)
 
@@ -99,18 +181,20 @@ func Compile(sys *System, req *Requirement, opts Options) (*Compiled, error) {
 		b.qv[sc] = vars
 	}
 
-	// Observation channels: the start signal is either the injection of the
-	// measured scenario's events or the completion of FromStep; the end
-	// signal is the completion of ToStep.
-	if req.FromStep == -1 {
-		ch := b.net.AddChan("inject_"+req.Scenario.Name, ta.Broadcast)
-		b.startCh = &ch
-	} else {
-		ch := b.net.AddChan(doneName(req.Scenario, req.FromStep), ta.Broadcast)
-		b.startCh = &ch
+	// Observation channels: each requirement's start signal is either the
+	// injection of the measured scenario's events or the completion of
+	// FromStep; its end signal is the completion of ToStep. Requirements
+	// listening to the same signal share one broadcast channel.
+	b.starts = make([]ta.ChanID, len(reqs))
+	b.ends = make([]ta.ChanID, len(reqs))
+	for i, req := range reqs {
+		if req.FromStep == -1 {
+			b.starts[i] = b.injectChan(req.Scenario)
+		} else {
+			b.starts[i] = b.doneChan(req.Scenario, req.FromStep)
+		}
+		b.ends[i] = b.doneChan(req.Scenario, req.ToStep)
 	}
-	endCh := b.net.AddChan(doneName(req.Scenario, req.ToStep), ta.Broadcast)
-	b.endCh = &endCh
 
 	for _, sc := range sys.Scenarios {
 		if err := b.buildEnv(sc); err != nil {
@@ -120,14 +204,17 @@ func Compile(sys *System, req *Requirement, opts Options) (*Compiled, error) {
 	if err := b.buildResources(); err != nil {
 		return nil, err
 	}
-	obs := b.buildObserver(horizon)
+	obs := make([]Observer, len(reqs))
+	for i := range reqs {
+		obs[i] = b.buildObserver(i, horizons[i])
+	}
 
 	if err := b.net.Finalize(); err != nil {
 		return nil, fmt.Errorf("arch: compiled network invalid: %w", err)
 	}
-	return &Compiled{
-		Sys: sys, Req: req, Net: b.net,
-		Scale: scale, Horizon: horizon, Obs: obs,
+	return &CompiledSet{
+		Sys: sys, Reqs: reqs, Net: b.net,
+		Scale: scale, Horizons: horizons, Obs: obs,
 	}, nil
 }
 
@@ -135,40 +222,70 @@ func doneName(sc *Scenario, step int) string {
 	return "done_" + sc.Name + "_" + sc.Steps[step].Name
 }
 
+// scStep keys a (scenario, step index) completion signal.
+type scStep struct {
+	sc   *Scenario
+	step int
+}
+
 // builder carries shared compilation state.
 type builder struct {
 	sys   *System
-	req   *Requirement
+	reqs  []*Requirement
 	opts  Options
 	scale *big.Int
 	net   *ta.Network
 	hurry ta.Channel
 	qv    map[*Scenario][]ta.IntVar
 
-	startCh, endCh *ta.Channel
+	// injectCh / doneCh are the observation broadcast channels, created on
+	// demand and shared by every requirement listening to the same signal.
+	injectCh map[*Scenario]ta.ChanID
+	doneCh   map[scStep]ta.ChanID
+	// starts / ends are each requirement's observation channels, parallel
+	// to reqs.
+	starts, ends []ta.ChanID
 }
 
 func (b *builder) units(r *big.Rat) (int64, error) { return toUnits(r, b.scale) }
 
+// injectChan returns (creating on first use) the broadcast channel that
+// announces event injections of scenario sc.
+func (b *builder) injectChan(sc *Scenario) ta.ChanID {
+	if id, ok := b.injectCh[sc]; ok {
+		return id
+	}
+	ch := b.net.AddChan("inject_"+sc.Name, ta.Broadcast)
+	b.injectCh[sc] = ch.ID
+	return ch.ID
+}
+
+// doneChan returns (creating on first use) the broadcast channel that
+// announces completions of step i of scenario sc.
+func (b *builder) doneChan(sc *Scenario, i int) ta.ChanID {
+	key := scStep{sc, i}
+	if id, ok := b.doneCh[key]; ok {
+		return id
+	}
+	ch := b.net.AddChan(doneName(sc, i), ta.Broadcast)
+	b.doneCh[key] = ch.ID
+	return ch.ID
+}
+
 // injectSync returns the sync label for event injections of scenario sc:
-// a broadcast when sc is the measured scenario, internal otherwise.
+// a broadcast when some requirement measures them, internal otherwise.
 func (b *builder) injectSync(sc *Scenario) ta.Sync {
-	if sc == b.req.Scenario && b.req.FromStep == -1 {
-		return ta.Sync{Chan: b.startCh.ID, Dir: ta.Emit}
+	if id, ok := b.injectCh[sc]; ok {
+		return ta.Sync{Chan: id, Dir: ta.Emit}
 	}
 	return ta.NoSync
 }
 
 // doneSync returns the sync label for the completion of step i of scenario
-// sc: a broadcast when the observer listens to it, internal otherwise.
+// sc: a broadcast when some observer listens to it, internal otherwise.
 func (b *builder) doneSync(sc *Scenario, i int) ta.Sync {
-	if sc == b.req.Scenario {
-		if b.req.FromStep == i {
-			return ta.Sync{Chan: b.startCh.ID, Dir: ta.Emit}
-		}
-		if b.req.ToStep == i {
-			return ta.Sync{Chan: b.endCh.ID, Dir: ta.Emit}
-		}
+	if id, ok := b.doneCh[scStep{sc, i}]; ok {
+		return ta.Sync{Chan: id, Dir: ta.Emit}
 	}
 	return ta.NoSync
 }
@@ -658,24 +775,35 @@ func splitClasses(name string, ops []rop) (his, los []rop, err error) {
 	return his, los, nil
 }
 
-// buildObserver emits the generalized Fig. 9 measuring automaton: it counts
-// in-flight activations between the start and end signals (n), picks one
-// nondeterministically (m := n, y := 0) and, assuming FIFO processing as the
-// paper does, recognizes its completion when m reaches zero, visiting the
-// committed "seen" location where y equals the response time exactly.
-func (b *builder) buildObserver(horizon int64) Observer {
-	capN := b.opts.QueueCap*int64(len(b.req.Scenario.Steps)) + 2
-	m := b.net.AddVar("obs.m", -1, -1, capN)
-	n := b.net.AddVar("obs.n", 0, 0, capN)
-	y := b.net.AddClock("obs.y")
+// buildObserver emits the generalized Fig. 9 measuring automaton for
+// requirement i: it counts in-flight activations between the start and end
+// signals (n), picks one nondeterministically (m := n, y := 0) and, assuming
+// FIFO processing as the paper does, recognizes its completion when m reaches
+// zero, visiting the committed "seen" location where y equals the response
+// time exactly.
+//
+// A single-requirement compilation keeps the historical names (OBS, obs.m,
+// obs.n, obs.y) so existing traces, DOT/UPPAAL exports, and tests are
+// unchanged; batch compilations qualify each observer by its requirement.
+func (b *builder) buildObserver(i int, horizon int64) Observer {
+	req := b.reqs[i]
+	procName, varPrefix := "OBS", "obs."
+	if len(b.reqs) > 1 {
+		procName = "OBS_" + req.Name
+		varPrefix = "obs." + req.Name + "."
+	}
+	capN := b.opts.QueueCap*int64(len(req.Scenario.Steps)) + 2
+	m := b.net.AddVar(varPrefix+"m", -1, -1, capN)
+	n := b.net.AddVar(varPrefix+"n", 0, 0, capN)
+	y := b.net.AddClock(varPrefix + "y")
 	b.net.EnsureMaxConst(y.ID, horizon)
 
-	p := b.net.AddProcess("OBS")
+	p := b.net.AddProcess(procName)
 	l := p.AddLocation("watch", ta.Normal)
 	seen := p.AddLocation("seen", ta.Committed)
 
-	startRecv := ta.Sync{Chan: b.startCh.ID, Dir: ta.Recv}
-	endRecv := ta.Sync{Chan: b.endCh.ID, Dir: ta.Recv}
+	startRecv := ta.Sync{Chan: b.starts[i], Dir: ta.Recv}
+	endRecv := ta.Sync{Chan: b.ends[i], Dir: ta.Recv}
 
 	// Pass an activation by. While no measurement is in progress (m == -1)
 	// the response clock is meaningless; freeing it keeps the zone graph

@@ -98,51 +98,19 @@ type supAcc struct {
 // delay is folded into those states and the zone's upper bound on the
 // measuring clock is exactly the response time of the measured event.
 //
-// Each worker reduces into its own accumulator and the results merge after
-// the exploration barrier, so the hot visitor path is lock-free on the
-// sequential and the parallel frontier alike.
+// It is a thin wrapper over a one-element query set (SupClockQuery): each
+// worker reduces into its own accumulator and the results merge after the
+// exploration barrier, so the hot visitor path is lock-free on the
+// sequential and the parallel frontier alike. To measure several clocks from
+// a single sweep, pass multiple SupClockQueries to RunQueries instead — that
+// is what arch.AnalyzeAll does for whole requirement sets.
 //
 // The clock's maximal constant (ta.Network.EnsureMaxConst) must be at least
 // the largest value of interest; beyond it the result degrades to Unbounded.
 func (c *Checker) SupClock(clock ta.ClockID, cond func(*State) bool, opts Options) (SupResult, error) {
-	workers, parallel := opts.parallelism()
-	accs := make([]supAcc, workers)
-	visits := make([]func(*State) bool, workers)
-	for w := range visits {
-		acc := &accs[w]
-		acc.max = dbm.LT(0)
-		visits[w] = func(s *State) bool {
-			if !cond(s) {
-				return false
-			}
-			acc.seen = true
-			b := s.Zone.Sup(int(clock))
-			if b == dbm.Infinity {
-				return true // nothing larger can be learned; stop with a witness
-			}
-			if b > acc.max {
-				acc.max = b
-			}
-			return false
-		}
-	}
-	res, err := c.explore(opts, workers, parallel, visits)
-	out := SupResult{Max: dbm.LT(0), Stats: res.Stats}
-	for i := range accs {
-		out.Seen = out.Seen || accs[i].seen
-		if accs[i].max > out.Max {
-			out.Max = accs[i].max
-		}
-	}
-	if err != nil {
-		return out, err
-	}
-	if res.Found {
-		out.Seen = true
-		out.Unbounded = true
-		out.Witness = res.Trace
-	}
-	return out, nil
+	q := NewSupClockQuery(clock, cond)
+	_, err := c.RunQueries(opts, q)
+	return q.Result, err
 }
 
 // BinarySearchResult is the outcome of BinarySearchWCRT.
@@ -160,46 +128,54 @@ type BinarySearchResult struct {
 }
 
 // BinarySearchWCRT reproduces the paper's methodology for Property 1:
-// repeatedly model check AG(cond → clock < C), halving the interval
-// (lo, hi], to find the smallest constant C for which the property is
-// satisfied. The WCRT then lies in [C-1, C).
+// find the smallest constant C in (lo, hi] for which AG(cond → clock < C)
+// is satisfied. The WCRT then lies in [C-1, C).
 //
-// SupClock gives the same answer in one pass; this entry point exists to
-// reproduce — and cross-validate against — the paper's procedure.
+// The paper re-model-checks per threshold; since the zone graph is identical
+// across thresholds, this implementation explores it ONCE — a single
+// supremum sweep — and answers every threshold of the bisection from the
+// recorded bound: AG(cond → clock < C) holds exactly when the supremum over
+// all cond-states is below (≤ C). The bisection itself runs on integers, so
+// Iterations is now always 1 (one exploration) and TotalStats is that
+// sweep's effort. MinimalC is bit-identical to the paper's per-threshold
+// procedure by construction, because the per-state test it model-checked —
+// Sup(clock) < (≤ C) — is evaluated against the same suprema.
 func (c *Checker) BinarySearchWCRT(clock ta.ClockID, cond func(*State) bool,
 	lo, hi int64, opts Options) (BinarySearchResult, error) {
 	if lo < 0 || hi <= lo {
 		return BinarySearchResult{}, fmt.Errorf("core: invalid binary search interval (%d, %d]", lo, hi)
 	}
-	var out BinarySearchResult
-	check := func(C int64) (bool, error) {
-		out.Iterations++
-		prop := Property{
-			Desc: fmt.Sprintf("AG(cond -> x%d < %d)", clock, C),
-			Holds: func(s *State) bool {
-				if !cond(s) {
-					return true
-				}
-				// The zone admits a valuation with clock ≥ C exactly when
-				// its upper bound is at least (≤ C).
-				return s.Zone.Sup(int(clock)) < dbm.LE(C)
-			},
-		}
-		sr, err := c.CheckSafety(prop, opts)
-		if err != nil {
-			return false, err
-		}
-		out.TotalStats.Add(sr.Stats)
-		if sr.Truncated {
-			return false, fmt.Errorf("core: binary search exploration truncated at %d states", sr.Stored)
-		}
-		return sr.Holds, nil
-	}
-	ok, err := check(hi)
+	sup, err := c.SupClock(clock, cond, opts)
+	out := BinarySearchResult{Iterations: 1, TotalStats: sup.Stats}
 	if err != nil {
 		return out, err
 	}
-	if !ok {
+	// holds replays one threshold check of the paper's loop against the
+	// sweep's supremum: AG(cond → clock < C) ⟺ no cond-state admits a
+	// valuation with clock ≥ C ⟺ max Sup(clock) < (≤ C). An unbounded
+	// supremum (beyond the extrapolation horizon) fails every threshold,
+	// exactly as the per-threshold runs would have.
+	holds := func(C int64) bool {
+		if !sup.Seen {
+			return true
+		}
+		if sup.Unbounded {
+			return false
+		}
+		return sup.Max < dbm.LE(C)
+	}
+	if sup.Truncated {
+		// A truncated sweep's supremum is a lower bound on the true one. It
+		// can still definitively REFUTE — some admitted state already
+		// reaches hi, the counterexample the per-threshold procedure would
+		// have stopped at within the same budget — but it cannot verify.
+		if !holds(hi) {
+			out.Holds = false
+			return out, nil
+		}
+		return out, fmt.Errorf("core: binary search exploration truncated at %d states", sup.Stored)
+	}
+	if !holds(hi) {
 		out.Holds = false
 		return out, nil
 	}
@@ -209,11 +185,7 @@ func (c *Checker) BinarySearchWCRT(clock ta.ClockID, cond func(*State) bool,
 	// been verified at hi. Monotonicity in C makes the search exact.
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2
-		ok, err := check(mid)
-		if err != nil {
-			return out, err
-		}
-		if ok {
+		if holds(mid) {
 			hi = mid
 		} else {
 			lo = mid
@@ -236,20 +208,20 @@ type DeadlockResult struct {
 // CheckDeadlockFree explores the zone graph looking for states with no
 // action successor (UPPAAL's "deadlock" property). Because stored states are
 // closed under delay, a state without successors admits no escape at any
-// future time point. With Workers > 1 the search is parallel; "first" then
-// means the first deadlock any worker reaches, and the witness trace is
-// stitched from the parent logs like every other parallel trace.
+// future time point. It is a thin wrapper over a one-element query set
+// (DeadlockQuery), so alone it stops at the first deadlock exactly as
+// before, while the same query inside a larger RunQueries set lets the
+// sweep keep serving the other queries. With Workers > 1 the search is
+// parallel; "first" then means the first deadlock any worker reaches, and
+// the witness trace is stitched from the parent logs like every other
+// parallel trace.
 func (c *Checker) CheckDeadlockFree(opts Options) (DeadlockResult, error) {
-	opts.StopAtDeadlock = true
-	res, err := c.Explore(opts, nil)
+	q := NewDeadlockQuery()
+	_, err := c.RunQueries(opts, q)
 	if err != nil {
 		return DeadlockResult{}, err
 	}
-	return DeadlockResult{
-		Stats:   res.Stats,
-		Free:    res.Deadlocks == 0,
-		Witness: res.DeadlockTrace,
-	}, nil
+	return q.Result, nil
 }
 
 // MaxVarResult is the outcome of MaxVar.
@@ -274,40 +246,12 @@ type maxVarAcc struct {
 // pending-events counter, or the largest preemption accumulator D, the
 // quantity the paper's Section 3.1 asks to bound before model checking.
 //
-// Like SupClock, the reduction is per-worker and merges at the exploration
-// barrier: no lock anywhere, sequential or parallel.
+// It is a thin wrapper over a one-element query set (MaxVarQuery): the
+// reduction is per-worker and merges at the exploration barrier, no lock
+// anywhere, sequential or parallel.
 func (c *Checker) MaxVar(v ta.VarID, cond func(*State) bool, opts Options) (MaxVarResult, error) {
-	workers, parallel := opts.parallelism()
-	accs := make([]maxVarAcc, workers)
-	visits := make([]func(*State) bool, workers)
-	for w := range visits {
-		acc := &accs[w]
-		acc.max, acc.min = -1<<62, 1<<62-1
-		visits[w] = func(s *State) bool {
-			if cond != nil && !cond(s) {
-				return false
-			}
-			acc.seen = true
-			if s.Vars[v] > acc.max {
-				acc.max = s.Vars[v]
-			}
-			if s.Vars[v] < acc.min {
-				acc.min = s.Vars[v]
-			}
-			return false
-		}
-	}
-	opts.noTrace = true // the visitor never stops the run; skip parent logs
-	res, err := c.explore(opts, workers, parallel, visits)
-	out := MaxVarResult{Max: -1 << 62, Min: 1<<62 - 1, Stats: res.Stats}
-	for i := range accs {
-		out.Seen = out.Seen || accs[i].seen
-		if accs[i].max > out.Max {
-			out.Max = accs[i].max
-		}
-		if accs[i].min < out.Min {
-			out.Min = accs[i].min
-		}
-	}
-	return out, err
+	q := NewMaxVarQuery(v, cond)
+	opts.noTrace = true // the query never requests a trace; skip parent logs
+	_, err := c.RunQueries(opts, q)
+	return q.Result, err
 }

@@ -150,14 +150,14 @@ type dequeFrontier struct {
 	stop    *atomic.Bool
 }
 
-func newDequeFrontier(workers int, seed int64, stop *atomic.Bool) *dequeFrontier {
+func newDequeFrontier(workers int, seed int64, dequeCap int64, stop *atomic.Bool) *dequeFrontier {
 	f := &dequeFrontier{
 		deques: make([]*wsDeque, workers),
 		rngs:   make([]*rand.Rand, workers),
 		stop:   stop,
 	}
 	for i := range f.deques {
-		f.deques[i] = newWSDeque()
+		f.deques[i] = newWSDeque(dequeCap)
 		f.rngs[i] = rand.New(rand.NewSource(seed ^ (int64(i+1) * 0x9E3779B9)))
 	}
 	return f
@@ -203,25 +203,30 @@ func (f *dequeFrontier) expanded(int) { f.pending.Add(-1) }
 
 // explorer carries the shared mutable state of one exploration run. The only
 // shared structures are the passed store, the frontier, the parent logs
-// (per-worker ownership), and the atomics below.
+// (per-worker ownership), the queries' per-worker accumulators and completion
+// atomics, and the atomics below.
 type explorer struct {
-	c      *Checker
-	opts   Options
-	visits []func(*State) bool // one visitor per worker, entries may be nil
-	passed passedSet
-	front  frontier
-	logs   *parentLogs // nil when no trace can be requested
+	c       *Checker
+	opts    Options
+	queries []Query // the attached query set (may be empty: plain sweep)
+	deadQs  []Query // subset of queries observing deadlocked states
+	passed  passedSet
+	front   frontier
+	logs    *parentLogs // nil when no trace can be requested
 
-	stop        atomic.Bool
-	foundFlag   atomic.Bool
+	stop atomic.Bool
+	// live counts queries that have not yet completed; the completion that
+	// drops it to zero (completeQuery) short-circuits the sweep. A
+	// query-less sweep keeps it at zero and never stops early: the visit
+	// path guards on len(queries), and only completeQuery reads the
+	// decremented count.
+	live        atomic.Int64
 	deadFlag    atomic.Bool
 	stored      atomic.Int64
 	popped      atomic.Int64
 	transitions atomic.Int64
 	deadlocks   atomic.Int64
 	truncated   atomic.Bool
-	foundState  atomic.Pointer[State]
-	foundRef    atomic.Int64
 	deadRef     atomic.Int64
 	firstErr    atomic.Pointer[error]
 }
@@ -231,13 +236,47 @@ func (e *explorer) fail(err error) {
 	e.stop.Store(true)
 }
 
+// completeQuery marks q done on state s: the first completer captures a
+// caller-owned clone of s plus its parent-log ref, and decrements the live
+// count. It reports whether the whole sweep should stop — either this
+// completion drained the query set, or another worker already raised the
+// stop flag.
+func (e *explorer) completeQuery(q Query, s *State) (stopSweep bool) {
+	qs := q.state()
+	if !qs.done.CompareAndSwap(false, true) {
+		return e.stop.Load()
+	}
+	qs.found.Store(cloneState(s))
+	if e.logs != nil {
+		qs.ref.Store(s.ref)
+	}
+	if e.live.Add(-1) == 0 {
+		e.stop.Store(true)
+		return true
+	}
+	return e.stop.Load()
+}
+
+// visitAdmitted feeds one newly admitted state to every live query; it
+// reports whether the sweep is over (all queries completed).
+func (e *explorer) visitAdmitted(w int, s *State) (stopSweep bool) {
+	for _, q := range e.queries {
+		if q.state().done.Load() {
+			continue
+		}
+		if q.visit(w, s) && e.completeQuery(q, s) {
+			return true
+		}
+	}
+	return false
+}
+
 // run is the worker loop, identical for both frontiers: pop, expand, admit
-// successors, recycle the expanded state. Statistics accumulate in locals
-// and flush once on exit.
+// successors, feed the query set, recycle the expanded state. Statistics
+// accumulate in locals and flush once on exit.
 func (e *explorer) run(w int) {
 	ctx := e.c.eng.newCtx()
 	ctx.keepLabels = e.logs != nil // labels only matter for trace records
-	visit := e.visits[w]
 	var shuffle *rand.Rand
 	if e.opts.Order == RDFS {
 		// Worker 0 reproduces the sequential RDFS stream for a given seed.
@@ -264,6 +303,14 @@ func (e *explorer) run(w int) {
 		}
 		if len(succs) == 0 {
 			nDeadlocks++
+			for _, q := range e.deadQs {
+				if q.state().done.Load() {
+					continue
+				}
+				if q.onDeadlock(w, s) && e.completeQuery(q, s) {
+					return
+				}
+			}
 			if e.opts.StopAtDeadlock {
 				if e.logs != nil && e.deadFlag.CompareAndSwap(false, true) {
 					e.deadRef.Store(s.ref)
@@ -287,14 +334,7 @@ func (e *explorer) run(w int) {
 			if e.logs != nil {
 				sc.state.ref = e.logs.record(w, s.ref, sc.state.discreteKey(), sc.label)
 			}
-			if visit != nil && visit(sc.state) {
-				if e.foundFlag.CompareAndSwap(false, true) {
-					e.foundState.Store(sc.state)
-					if e.logs != nil {
-						e.foundRef.Store(sc.state.ref)
-					}
-				}
-				e.stop.Store(true)
+			if len(e.queries) > 0 && e.visitAdmitted(w, sc.state) {
 				return
 			}
 			if e.opts.MaxStates > 0 && n >= int64(e.opts.MaxStates) {
@@ -311,29 +351,37 @@ func (e *explorer) run(w int) {
 	}
 }
 
-// explore runs the unified engine. visits holds one visitor per worker (the
-// same closure for plain Explore, per-worker reduction closures for
-// MaxVar/SupClock) or is nil for a visitor-less sweep; workers and parallel
-// come from opts.parallelism().
-func (c *Checker) explore(opts Options, workers int, parallel bool, visits []func(*State) bool) (ExploreResult, error) {
+// explore runs the unified engine over one query set (possibly empty: a
+// plain sweep). Every query attaches per-worker reduction state to the
+// single run; queries complete independently and the sweep short-circuits
+// when the last one does. Workers and the frontier kind come from
+// opts.parallelism().
+func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) {
 	start := time.Now()
+	workers, parallel := opts.parallelism()
 	var res ExploreResult
 	init, err := c.eng.initial()
 	if err != nil {
 		return res, err
 	}
-	if visits == nil {
-		visits = make([]func(*State) bool, workers)
-	}
-	e := &explorer{c: c, opts: opts, visits: visits}
-	e.foundRef.Store(noRef)
+	e := &explorer{c: c, opts: opts, queries: queries}
 	e.deadRef.Store(noRef)
-	// Parent logs exist exactly when a trace can be requested: a visitor may
-	// stop the run, or StopAtDeadlock may. Trace-free reductions (MaxVar)
-	// additionally opt out via opts.noTrace.
+	e.live.Store(int64(len(queries)))
+	// Parent logs exist exactly when a trace can be requested: a query may
+	// complete with a witness, or StopAtDeadlock may stop the run.
+	// Trace-free query sets (MaxVar alone) need none; opts.noTrace
+	// additionally forces them off for in-package callers that can prove
+	// they never replay.
 	needTrace := opts.StopAtDeadlock
-	for _, v := range visits {
-		if v != nil {
+	for _, q := range queries {
+		qs := q.state()
+		qs.used = true
+		qs.init()
+		q.prepare(workers)
+		if q.observesDeadlocks() {
+			e.deadQs = append(e.deadQs, q)
+		}
+		if q.wantsTrace() {
 			needTrace = true
 		}
 	}
@@ -342,7 +390,7 @@ func (c *Checker) explore(opts Options, workers int, parallel bool, visits []fun
 	}
 
 	if parallel {
-		e.passed = newPStore()
+		e.passed = newPStore(opts.storeShardCount())
 	} else {
 		e.passed = newStore(nil)
 	}
@@ -354,58 +402,55 @@ func (c *Checker) explore(opts Options, workers int, parallel bool, visits []fun
 		init.ref = e.logs.record(0, noRef, init.discreteKey(), Label{})
 	}
 
-	if v := visits[0]; v != nil && v(init) {
-		res.Found = true
-		res.FoundState = init
-		res.Stored = 1
-		if e.logs != nil {
-			res.Trace, err = c.replayTrace(e.logs, init.ref)
+	// The initial state is admitted like any other; if it already completes
+	// the whole query set, the sweep is skipped.
+	drained := len(queries) > 0 && e.visitAdmitted(0, init)
+	if !drained {
+		if parallel {
+			e.front = newDequeFrontier(workers, opts.Seed, opts.dequeCapacity(), &e.stop)
+		} else {
+			e.front = &listFrontier{order: opts.Order, stop: &e.stop}
 		}
-		res.Duration = time.Since(start)
-		return res, err
-	}
+		e.front.push(0, init)
 
-	if parallel {
-		e.front = newDequeFrontier(workers, opts.Seed, &e.stop)
-	} else {
-		e.front = &listFrontier{order: opts.Order, stop: &e.stop}
-	}
-	e.front.push(0, init)
-
-	if parallel {
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for i := 0; i < workers; i++ {
-			go func(id int) {
-				defer wg.Done()
-				e.run(id)
-			}(i)
+		if parallel {
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for i := 0; i < workers; i++ {
+				go func(id int) {
+					defer wg.Done()
+					e.run(id)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			e.run(0)
 		}
-		wg.Wait()
-	} else {
-		e.run(0)
 	}
 
 	res.Duration = time.Since(start)
-	if ep := e.firstErr.Load(); ep != nil {
-		return res, *ep
-	}
 	res.Stored = int(e.stored.Load())
 	res.Popped = int(e.popped.Load())
 	res.Transitions = int(e.transitions.Load())
 	res.Deadlocks = int(e.deadlocks.Load())
 	res.Truncated = e.truncated.Load()
-	if fs := e.foundState.Load(); fs != nil {
-		res.Found = true
-		res.FoundState = fs
-		if ref := e.foundRef.Load(); e.logs != nil && ref != noRef {
-			if res.Trace, err = c.replayTrace(e.logs, ref); err != nil {
-				return res, err
-			}
+	if ep := e.firstErr.Load(); ep != nil {
+		// Finish the queries anyway so partial reductions remain readable,
+		// but the run error wins.
+		for _, q := range queries {
+			_ = q.finish(c, e.logs, res.Stats)
 		}
+		return res, *ep
 	}
 	if ref := e.deadRef.Load(); e.logs != nil && ref != noRef {
 		if res.DeadlockTrace, err = c.replayTrace(e.logs, ref); err != nil {
+			return res, err
+		}
+	}
+	// Merge per-worker reductions and replay completion traces strictly
+	// after the worker barrier.
+	for _, q := range queries {
+		if err := q.finish(c, e.logs, res.Stats); err != nil {
 			return res, err
 		}
 	}

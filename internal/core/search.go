@@ -63,11 +63,53 @@ type Options struct {
 	// cores too. Visitors and property predicates are invoked concurrently
 	// when Workers > 1 and must be safe for concurrent use.
 	Workers int
+	// StoreShards sets the lock-shard count of the parallel passed store,
+	// rounded up to a power of two; 0 selects the default of 64. More shards
+	// cut contention on huge graphs with many workers; fewer save memory on
+	// small ones. Only meaningful with Workers > 1.
+	StoreShards int
+	// DequeCapacity sets the initial ring capacity of each worker's
+	// Chase–Lev deque, rounded up to a power of two; 0 selects the default
+	// of 64. Deques grow on demand, so this only tunes early-run growth
+	// churn. Only meaningful with Workers > 1.
+	DequeCapacity int
 
 	// noTrace disables parent logging for in-package queries that can prove
 	// they never request a trace (MaxVar). Zero value keeps logging on
-	// whenever a visitor or StopAtDeadlock could stop the run.
+	// whenever a query or StopAtDeadlock could stop the run with a trace.
 	noTrace bool
+}
+
+const (
+	defaultStoreShards   = 64
+	defaultDequeCapacity = 64
+)
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// storeShardCount resolves StoreShards to the power-of-two shard count the
+// sharded passed store indexes with.
+func (o Options) storeShardCount() int {
+	if o.StoreShards <= 0 {
+		return defaultStoreShards
+	}
+	return nextPow2(o.StoreShards)
+}
+
+// dequeCapacity resolves DequeCapacity to the power-of-two ring size the
+// Chase–Lev deques start from.
+func (o Options) dequeCapacity() int64 {
+	if o.DequeCapacity <= 0 {
+		return defaultDequeCapacity
+	}
+	return int64(nextPow2(o.DequeCapacity))
 }
 
 // Stats reports exploration effort.
@@ -133,8 +175,8 @@ type ExploreResult struct {
 	Stats
 	// Found reports whether the visitor stopped the search.
 	Found bool
-	// FoundState is the state the visitor stopped at. It remains valid after
-	// the call (it is exempt from state recycling).
+	// FoundState is the state the visitor stopped at: a caller-owned copy,
+	// valid after the call regardless of state recycling.
 	FoundState *State
 	// Trace is the path from the initial state to FoundState. Its states are
 	// freshly materialized by trace replay and are owned by the caller.
@@ -159,13 +201,20 @@ type ExploreResult struct {
 // state admitted by two workers simultaneously is expanded at most twice
 // (harmless), never lost.
 func (c *Checker) Explore(opts Options, visit func(*State) bool) (ExploreResult, error) {
-	workers, parallel := opts.parallelism()
-	var visits []func(*State) bool
+	var rq *ReachQuery
+	var queries []Query
 	if visit != nil {
-		visits = make([]func(*State) bool, workers)
-		for i := range visits {
-			visits[i] = visit
-		}
+		rq = NewReachQuery(visit)
+		queries = []Query{rq}
 	}
-	return c.explore(opts, workers, parallel, visits)
+	res, err := c.explore(opts, queries)
+	if err != nil {
+		return res, err
+	}
+	if rq != nil && rq.Found {
+		res.Found = true
+		res.FoundState = rq.FoundState
+		res.Trace = rq.Trace
+	}
+	return res, nil
 }

@@ -176,16 +176,23 @@ func (st *store) Len() int { return st.zones }
 // the pstore, so pruned zones can be recycled into the calling worker's pool
 // even while the pruned state is still queued in some deque.
 type pstore struct {
-	shards [64]struct {
-		mu      sync.Mutex
-		buckets map[uint64][]*storeEntry
-		_       [48]byte // pad to its own cache line against false sharing
-	}
-	zones atomic.Int64
+	shards []pshard
+	mask   uint64 // len(shards)-1; the count is a power of two
+	zones  atomic.Int64
 }
 
-func newPStore() *pstore {
-	st := &pstore{}
+// pshard is one lock shard, padded to its own cache line against false
+// sharing between neighboring shards.
+type pshard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*storeEntry
+	_       [48]byte
+}
+
+// newPStore returns a sharded store with the given shard count, which must
+// be a power of two (Options.storeShardCount guarantees it).
+func newPStore(shards int) *pstore {
+	st := &pstore{shards: make([]pshard, shards), mask: uint64(shards - 1)}
 	for i := range st.shards {
 		st.shards[i].buckets = make(map[uint64][]*storeEntry)
 	}
@@ -198,7 +205,7 @@ func newPStore() *pstore {
 // are released into it (pools are single-owner, so this is safe even though
 // the shard lock is shared).
 func (st *pstore) add(s *State, pool *dbm.Pool) bool {
-	sh := &st.shards[s.discreteKey()%64]
+	sh := &st.shards[s.discreteKey()&st.mask]
 	sh.mu.Lock()
 	delta, admitted := lookupEntry(sh.buckets, s).admit(s, pool)
 	sh.mu.Unlock()

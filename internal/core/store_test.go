@@ -66,7 +66,7 @@ func TestStoreIncomparableZonesCoexist(t *testing.T) {
 
 func TestPStoreMatchesStore(t *testing.T) {
 	seq := newStore(dbm.NewPool(2))
-	par := newPStore()
+	par := newPStore(64)
 	states := []*State{
 		mkState([]ta.LocID{0}, []int64{0}, 10),
 		mkState([]ta.LocID{0}, []int64{0}, 5),

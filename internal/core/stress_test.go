@@ -19,7 +19,7 @@ func TestPStoreConcurrentSubsumingAdds(t *testing.T) {
 		chains  = 4  // incomparable families (distinct lower bounds)
 		depth   = 32 // subsuming zones per family (growing upper bounds)
 	)
-	st := newPStore()
+	st := newPStore(64)
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 
@@ -146,7 +146,7 @@ func TestExploreParallelStressMatchesSequential(t *testing.T) {
 // TestWSDequeSequential checks the owner-side LIFO and thief-side FIFO
 // disciplines, including ring growth past the initial capacity.
 func TestWSDequeSequential(t *testing.T) {
-	d := newWSDeque()
+	d := newWSDeque(64)
 	states := make([]*State, 200) // > initial ring capacity, forces grow
 	for i := range states {
 		states[i] = &State{Vars: []int64{int64(i)}}
@@ -175,7 +175,7 @@ func TestWSDequeSequential(t *testing.T) {
 func TestWSDequeConcurrentStealers(t *testing.T) {
 	const total = 20000
 	const thieves = 4
-	d := newWSDeque()
+	d := newWSDeque(64)
 	var mu sync.Mutex
 	seen := make(map[int64]int, total)
 	record := func(s *State) {

@@ -40,9 +40,12 @@ func (r *wsRing) grow(top, bottom int64) *wsRing {
 	return n
 }
 
-func newWSDeque() *wsDeque {
+// newWSDeque returns a deque whose ring starts at the given capacity, which
+// must be a power of two (Options.dequeCapacity guarantees it); the ring
+// doubles on overflow.
+func newWSDeque(capacity int64) *wsDeque {
 	d := &wsDeque{}
-	d.ring.Store(newWSRing(64))
+	d.ring.Store(newWSRing(capacity))
 	return d
 }
 

@@ -280,6 +280,38 @@ func TestExtraMKeepsSmallBounds(t *testing.T) {
 	}
 }
 
+func TestExtrapolationReportsChanges(t *testing.T) {
+	// No-op case: every bound inside the extrapolation box. The flag must be
+	// false and the matrix untouched (this is the fast path that skips the
+	// post-extrapolation Floyd–Warshall).
+	d := New(2)
+	d.Up()
+	d.Constrain(1, 0, LE(7))
+	if d.ExtraM([]int64{0, 10}) {
+		t.Error("ExtraM within the box must report changed=false")
+	}
+	if d.ExtraLU([]int64{0, 10}, []int64{0, 10}) {
+		t.Error("ExtraLU within the box must report changed=false")
+	}
+	// Abstracting case: bounds beyond the constants must report true.
+	e := New(2)
+	e.Up()
+	e.Constrain(1, 0, LE(100))
+	if !e.ExtraM([]int64{0, 10}) {
+		t.Error("ExtraM dropping a bound must report changed=true")
+	}
+	f := New(2)
+	f.Up()
+	f.Constrain(1, 0, LE(100))
+	if !f.ExtraLU([]int64{0, 10}, []int64{0, 10}) {
+		t.Error("ExtraLU dropping a bound must report changed=true")
+	}
+	// Idempotence: re-extrapolating the already-abstracted zone is a no-op.
+	if e.ExtraM([]int64{0, 10}) {
+		t.Error("ExtraM must be idempotent: second application reports changed=false")
+	}
+}
+
 func TestHashDistinguishes(t *testing.T) {
 	a := New(3)
 	a.Up()

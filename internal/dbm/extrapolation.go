@@ -15,7 +15,13 @@ package dbm
 // become Infinity; callers computing sup values (e.g. WCRT) must therefore
 // set the measured clock's max constant at least as large as any bound they
 // want to observe exactly.
-func (d *DBM) ExtraM(max []int64) {
+//
+// The returned flag reports whether any bound was abstracted. The full
+// Floyd–Warshall re-canonicalization runs only in that case; the common
+// steady-state case — a zone already inside the extrapolation box — is a
+// read-only scan. Callers can use the flag to skip downstream work that only
+// matters when the zone actually coarsened.
+func (d *DBM) ExtraM(max []int64) bool {
 	n := d.dim
 	changed := false
 	mc := func(i int) int64 {
@@ -47,6 +53,7 @@ func (d *DBM) ExtraM(max []int64) {
 	if changed {
 		d.Close()
 	}
+	return changed
 }
 
 // ExtraLU applies lower/upper-bound extrapolation (Extra_LU from the same
@@ -58,8 +65,9 @@ func (d *DBM) ExtraM(max []int64) {
 //
 // As with ExtraM, the upper bound of any clock c with a registered U(c) at
 // least as large as the values of interest is preserved exactly, so WCRT
-// suprema remain exact under the same horizon discipline.
-func (d *DBM) ExtraLU(lower, upper []int64) {
+// suprema remain exact under the same horizon discipline. Like ExtraM it
+// reports whether any bound changed, and re-closes only then.
+func (d *DBM) ExtraLU(lower, upper []int64) bool {
 	n := d.dim
 	changed := false
 	up := func(i int) int64 {
@@ -93,4 +101,5 @@ func (d *DBM) ExtraLU(lower, upper []int64) {
 	if changed {
 		d.Close()
 	}
+	return changed
 }

@@ -1,0 +1,167 @@
+package icrns
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dbm"
+)
+
+// This file is the case-study half of the batch-vs-sequential oracle (the
+// stress-network half lives in internal/arch/analyze_all_test.go): the
+// acceptance bar for the query-set engine is that AnalyzeAll over the
+// paper's requirements performs exactly ONE exploration and reproduces the
+// per-requirement results bit for bit.
+
+// alReqNames are the requirements of the AddressLookup+HandleTMC
+// combination, the exhaustively tractable half of Table 1.
+var alReqNames = []string{ReqHandleTMC, ReqAddressLookup}
+
+// TestAnalyzeAllMatchesPerRequirementCells compares the batch API against
+// per-requirement Cell on the exhaustive ComboAL columns, sequentially and
+// with Workers > 1 (run under -race by CI), and asserts the
+// one-exploration invariant through the shared Stats.
+func TestAnalyzeAllMatchesPerRequirementCells(t *testing.T) {
+	for _, col := range []Column{ColPO, ColPNO} {
+		sys, reqs := Build(ComboAL, col, DefaultConfig())
+		ordered := []*arch.Requirement{reqs[ReqHandleTMC], reqs[ReqAddressLookup]}
+		for _, workers := range []int{1, 3} {
+			all, err := arch.AnalyzeAll(sys, ordered, arch.Options{HorizonMSFor: batchHorizons},
+				core.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("col %v workers %d: %v", col, workers, err)
+			}
+			for i, req := range ordered {
+				row := Row{Req: req.Name, Combo: ComboAL}
+				single, err := Cell(Row{Req: req.Name, Combo: ComboAL, Label: row.Req}, col,
+					CellOptions{Cfg: DefaultConfig(), Workers: workers})
+				if err != nil {
+					t.Fatalf("col %v: Cell(%s): %v", col, req.Name, err)
+				}
+				got := all.Results[i]
+				if got.MS.Cmp(single.MS) != 0 || got.Attained != single.Attained ||
+					got.Exact != single.Exact || got.BeyondHorizon != single.BeyondHorizon {
+					t.Errorf("col %v workers %d: batch %s = %s (att=%v exact=%v) != per-requirement %s (att=%v exact=%v)",
+						col, workers, req.Name, got.MS.FloatString(3), got.Attained, got.Exact,
+						single.MS.FloatString(3), single.Attained, single.Exact)
+				}
+				// Exactly one exploration: every result carries the shared
+				// sweep's stats, not its own.
+				if got.Stats != all.Stats {
+					t.Errorf("col %v: %s carries stats %+v != shared sweep %+v — more than one exploration?",
+						col, req.Name, got.Stats, all.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCellsReproducePaperValues anchors the batch path to the paper:
+// the two published ComboAL po cells, answered from one sweep.
+func TestBatchCellsReproducePaperValues(t *testing.T) {
+	cells, err := Cells(ComboAL, ColPO, alReqNames, CellOptions{Cfg: DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cells[ReqHandleTMC].MS.FloatString(3); got != "172.106" {
+		t.Errorf("batch HandleTMC (+AL, po) = %s, want 172.106", got)
+	}
+	if got := cells[ReqAddressLookup].MS.FloatString(3); got != "79.076" {
+		t.Errorf("batch AddressLookup (po) = %s, want 79.076", got)
+	}
+}
+
+// TestBatchWitnessFromSharedNetwork materializes a critical-instant trace
+// for one requirement directly on the shared multi-observer network: a seen
+// state of that requirement's observer reaching the batch-computed bound
+// must be reachable, with a replay-valid trace — the batch network preserves
+// each observer's measurements, traces included.
+func TestBatchWitnessFromSharedNetwork(t *testing.T) {
+	sys, reqs := Build(ComboAL, ColPO, DefaultConfig())
+	ordered := []*arch.Requirement{reqs[ReqHandleTMC], reqs[ReqAddressLookup]}
+	cs, err := arch.CompileAll(sys, ordered, arch.Options{HorizonMSFor: batchHorizons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := arch.AnalyzeAll(sys, ordered, arch.Options{HorizonMSFor: batchHorizons}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(cs.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AddressLookup's bound in model units on the shared scale.
+	res := all.Results[1]
+	bound := new(big.Rat).Mul(res.MS, new(big.Rat).SetInt(cs.Scale))
+	if !bound.IsInt() {
+		t.Fatalf("bound %s not integral in model units", res.MS.RatString())
+	}
+	v := bound.Num().Int64()
+	atSeen := cs.AtSeen(1)
+	yID := int(cs.Obs[1].Y.ID)
+	found, trace, _, err := checker.Reachable(func(s *core.State) bool {
+		return atSeen(s) && s.Zone.Sup(yID) >= dbm.LE(v)
+	}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || len(trace) == 0 {
+		t.Fatal("the batch-computed WCRT must be realizable on the shared network")
+	}
+	last := trace[len(trace)-1].State
+	if !atSeen(last) || last.Zone.Sup(yID) < dbm.LE(v) {
+		t.Error("witness does not end in a seen state attaining the bound")
+	}
+}
+
+// TestBatchCellsFallbackProducesLowerBounds exercises the truncated-sweep
+// path of Cells on the expensive ChangeVolume combination: a tiny budget
+// truncates the shared sweep, and every cell must degrade to a non-exact
+// lower bound via the per-cell randomized depth-first fallback, exactly
+// like Cell's.
+func TestBatchCellsFallbackProducesLowerBounds(t *testing.T) {
+	names := []string{ReqHandleTMC, ReqK2A, ReqA2V}
+	cells, err := Cells(ComboCV, ColPO, names, CellOptions{
+		Cfg: DefaultConfig(), MaxStates: 2000, FallbackStates: 3000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		res := cells[name]
+		if res.Exact {
+			t.Errorf("%s: a 2000-state budget cannot be exact on ComboCV", name)
+		}
+		if res.MS.Sign() <= 0 {
+			t.Errorf("%s: fallback lower bound must be positive, got %s", name, res.MS.RatString())
+		}
+	}
+}
+
+// TestVerifyBatchMatchesVerifyDeadline compares the batched Verify verdicts
+// against the per-requirement VerifyDeadline model checks they replace.
+func TestVerifyBatchMatchesVerifyDeadline(t *testing.T) {
+	opts := CellOptions{Cfg: DefaultConfig()}
+	verdicts, err := Verify(ComboAL, ColPO, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, reqs := Build(ComboAL, ColPO, DefaultConfig())
+	for name, deadline := range Deadlines() {
+		req := reqs[name]
+		if req == nil {
+			continue
+		}
+		want, _, err := arch.VerifyDeadline(sys, req, deadline,
+			arch.Options{HorizonMS: HorizonMS(name)}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := verdicts[name]; !ok || got != want {
+			t.Errorf("%s: batch verdict %v (present=%v) != VerifyDeadline %v", name, got, ok, want)
+		}
+	}
+}

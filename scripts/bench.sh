@@ -7,9 +7,12 @@
 #
 # Defaults: out = BENCH_1.json (next free BENCH_<n>.json if it exists),
 # count = 5 (go test -count). The benchmark pattern covers the exact-checker
-# Table 1 cells, both Table 2 engine rows (sequential + Workers=NumCPU), and
-# the parallel-scaling series. Each record carries ns/op, B/op, allocs/op,
-# and — where the benchmark reports a "states" metric — states/sec.
+# Table 1 cells, both Table 2 engine rows (sequential + Workers=NumCPU), the
+# parallel-scaling series, and the multi-requirement rows comparing the
+# batch engine (one exploration for all requirements, arch.AnalyzeAll)
+# against the per-requirement baseline. Each record carries ns/op, B/op,
+# allocs/op, and — where the benchmark reports a "states" metric —
+# states/sec.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,7 +24,7 @@ if [ -z "$out" ]; then
     out="BENCH_${n}.json"
 fi
 
-pattern='Table1_HandleTMC_AL_po$|Table1_HandleTMC_AL_pno$|Table1_AddressLookup_po$|Table1_AddressLookup_pno$|Table2_|ParallelSup'
+pattern='Table1_HandleTMC_AL_po$|Table1_HandleTMC_AL_pno$|Table1_AddressLookup_po$|Table1_AddressLookup_pno$|Table2_|ParallelSup|MultiReq_'
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
