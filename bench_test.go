@@ -27,6 +27,10 @@ import (
 // exploration size as metrics.
 func benchCell(b *testing.B, row icrns.Row, col icrns.Column, budget int) {
 	b.Helper()
+	// Always report allocations: the CI bench gate (scripts/benchgate.go)
+	// holds the exact Table 1 cells to an exact allocs/op ceiling, and the
+	// sequential engine with a fixed seed makes the count deterministic.
+	b.ReportAllocs()
 	opts := icrns.CellOptions{
 		Cfg: icrns.DefaultConfig(), MaxStates: budget, FallbackStates: budget, Seed: 1,
 	}
@@ -112,6 +116,7 @@ func table2System() (*arch.System, *arch.Requirement) {
 
 func BenchmarkTable2_UppaalPNO(b *testing.B) {
 	sys, req := table2System()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := arch.AnalyzeWCRT(sys, req, arch.Options{HorizonMS: 500}, core.Options{}); err != nil {
 			b.Fatal(err)

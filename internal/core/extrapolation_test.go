@@ -6,6 +6,104 @@ import (
 	"repro/internal/ta"
 )
 
+// TestStoredZonesStayCanonical sweeps full zone graphs and asserts every
+// stored zone is bit-identical to its own full Floyd–Warshall re-closure.
+// This is a complete oracle for the incremental canonicalization the
+// successor engine now uses (dbm.CloseRows after extrapolation,
+// dbm.CloseTouched under batched guards): the incremental updates only ever
+// lower entries toward path sums, so they can never undershoot the true
+// shortest-path values — an inexact result is therefore always
+// non-canonical, and canonical means bit-identical to the full closure. The
+// hash-keyed passed stores rely on exactly this property.
+func TestStoredZonesStayCanonical(t *testing.T) {
+	nets := map[string]*ta.Network{
+		"radio": testRadioNet(t),
+		"diag":  testDiagNet(t),
+	}
+	for name, n := range nets {
+		for _, coarse := range []bool{false, true} {
+			c, err := NewChecker(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetCoarseExtrapolation(coarse)
+			visited := 0
+			_, _, _, err = c.Reachable(func(s *State) bool {
+				visited++
+				re := s.Zone.Copy()
+				re.Close()
+				if !s.Zone.Eq(re) {
+					t.Errorf("%s coarse=%v: stored zone not canonical:\n got %s\nwant %s",
+						name, coarse, s.Zone, re)
+				}
+				return false
+			}, Options{MaxStates: 20_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if visited == 0 {
+				t.Fatalf("%s: sweep visited no states", name)
+			}
+		}
+	}
+}
+
+// testRadioNet exercises urgency, broadcast sync, resets, and extrapolation
+// drops (the generator clock runs far past the worker clock's max constant).
+func testRadioNet(t *testing.T) *ta.Network {
+	t.Helper()
+	n := ta.NewNetwork("radio")
+	x := n.AddClock("x")
+	gx := n.AddClock("gx")
+	rec := n.AddVar("rec", 0, 0, 4)
+	hurry := n.AddChan("hurry", ta.BroadcastUrgent)
+	gen := n.AddProcess("GEN")
+	tick := gen.AddLocation("tick", ta.Normal, ta.CLE(gx, 7))
+	gen.AddEdge(ta.Edge{Src: tick, Dst: tick, ClockGuard: ta.CEq(gx, 7),
+		Guard:  ta.VarCmp(rec, ta.Lt, 4),
+		Update: ta.Inc(rec, 1),
+		Resets: []ta.Reset{{Clock: gx.ID, Value: 0}}})
+	rad := n.AddProcess("RAD")
+	idle := rad.AddLocation("idle", ta.Normal)
+	busy := rad.AddLocation("busy", ta.Normal, ta.CLE(x, 3))
+	rad.AddEdge(ta.Edge{Src: idle, Dst: busy, Guard: ta.VarCmp(rec, ta.Gt, 0),
+		Sync:   ta.Sync{Chan: hurry.ID, Dir: ta.Emit},
+		Update: ta.Inc(rec, -1),
+		Resets: []ta.Reset{{Clock: x.ID, Value: 0}}})
+	rad.AddEdge(ta.Edge{Src: busy, Dst: idle, ClockGuard: ta.CEq(x, 3)})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// testDiagNet keeps three clocks correlated through diagonal constraints so
+// extrapolation drops bounds that closure re-derives through untouched
+// clocks — the case CloseRows' all-pivot structure exists for.
+func testDiagNet(t *testing.T) *ta.Network {
+	t.Helper()
+	n := ta.NewNetwork("diag")
+	x := n.AddClock("x")
+	y := n.AddClock("y")
+	z := n.AddClock("z")
+	p := n.AddProcess("P")
+	a := p.AddLocation("a", ta.Normal, ta.CLE(x, 12))
+	b := p.AddLocation("b", ta.Normal, ta.CLE(y, 9))
+	p.AddEdge(ta.Edge{Src: a, Dst: b, ClockGuard: []ta.Constraint{ta.CGE(x, 2), ta.DiffLE(x, y, 4)},
+		Resets: []ta.Reset{{Clock: z.ID, Value: 0}}})
+	p.AddEdge(ta.Edge{Src: b, Dst: a, ClockGuard: ta.CEq(y, 9),
+		Resets: []ta.Reset{{Clock: y.ID, Value: 0}}})
+	q := n.AddProcess("Q")
+	w := n.AddClock("w")
+	c := q.AddLocation("c", ta.Normal, ta.CLE(w, 30))
+	q.AddEdge(ta.Edge{Src: c, Dst: c, ClockGuard: ta.CEq(w, 30),
+		Resets: []ta.Reset{{Clock: w.ID, Value: 0}}})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 // TestExtraLUPreservesReachability shows the flip side: for pure location
 // reachability LU agrees with M while (typically) storing fewer states.
 func TestExtraLUPreservesReachability(t *testing.T) {

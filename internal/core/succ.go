@@ -48,9 +48,19 @@ type succCtx struct {
 	pool *dbm.Pool
 	zone *dbm.DBM
 
-	locs  []ta.LocID  // scratch location vector, len = #processes
-	vars  []int64     // scratch variable valuation, len = #variables
-	parts []LabelPart // scratch label under construction
+	// tRows/tCols collect the rows and columns extrapolation loosens, and
+	// tGuard the clocks guard tightenings touch, so canonicalization after
+	// either re-runs Floyd–Warshall only over the touched set
+	// (dbm.CloseRows / dbm.CloseTouched) instead of the full O(n³) pass.
+	// Like the scratch zone they are owned by the ctx, reused across fires,
+	// and never escape into states or stores — the same recycling rules as
+	// pooled zones keep the hot path allocation-free.
+	tRows, tCols, tGuard *dbm.Touched
+
+	locs   []ta.LocID      // scratch location vector, len = #processes
+	vars   []int64         // scratch variable valuation, len = #variables
+	parts  []LabelPart     // scratch label under construction
+	guards []ta.Constraint // scratch multi-part guard conjunction
 
 	emitters  []LabelPart // per-channel enabled emit edges
 	receivers []LabelPart // per-channel enabled receive edges
@@ -82,6 +92,9 @@ func (e *engine) newCtx() *succCtx {
 	return &succCtx{
 		pool:       dbm.NewPool(e.dim),
 		zone:       dbm.New(e.dim),
+		tRows:      dbm.NewTouched(e.dim),
+		tCols:      dbm.NewTouched(e.dim),
+		tGuard:     dbm.NewTouched(e.dim),
 		locs:       make([]ta.LocID, len(e.net.Procs)),
 		vars:       make([]int64, len(e.net.Vars)),
 		keepLabels: true,
@@ -143,7 +156,7 @@ func (e *engine) initial() (*State, error) {
 	if !e.applyInvariants(z, locs, vars) {
 		return nil, fmt.Errorf("core: initial state violates an invariant")
 	}
-	e.closeInPlace(z, locs, vars)
+	e.closeInPlace(z, locs, vars, dbm.NewTouched(e.dim), dbm.NewTouched(e.dim))
 	return &State{Locs: locs, Vars: vars, Zone: z}, nil
 }
 
@@ -320,12 +333,9 @@ func (e *engine) fire(ctx *succCtx, s *State, label Label) (*State, error) {
 	}
 	z := ctx.zone
 	z.CopyFrom(s.Zone)
-	for _, pt := range label.Parts {
-		ed := &e.net.Procs[pt.Proc].Edges[pt.Edge]
-		// Clock guards are evaluated against the pre-transition valuation.
-		if !ta.ApplyConstraints(z, ed.ClockGuard, s.Vars) {
-			return nil, nil
-		}
+	// Clock guards are evaluated against the pre-transition valuation.
+	if !e.applyGuards(ctx, z, label.Parts, s.Vars) {
+		return nil, nil
 	}
 	vars := ctx.vars
 	copy(vars, s.Vars)
@@ -350,7 +360,7 @@ func (e *engine) fire(ctx *succCtx, s *State, label Label) (*State, error) {
 	if !e.applyInvariants(z, locs, vars) {
 		return nil, nil
 	}
-	e.closeInPlace(z, locs, vars)
+	e.closeInPlace(z, locs, vars, ctx.tRows, ctx.tCols)
 	ns := ctx.getState()
 	copy(ns.Locs, locs)
 	copy(ns.Vars, vars)
@@ -359,20 +369,68 @@ func (e *engine) fire(ctx *succCtx, s *State, label Label) (*State, error) {
 	return ns, nil
 }
 
+// applyGuards intersects z with the clock guards of every edge of a label.
+// Multi-part labels gather their guards into ctx scratch so the whole
+// conjunction is canonicalized as one set.
+func (e *engine) applyGuards(ctx *succCtx, z *dbm.DBM, parts []LabelPart, vars []int64) bool {
+	if len(parts) == 1 {
+		return e.applyGuardSet(ctx, z, e.net.Procs[parts[0].Proc].Edges[parts[0].Edge].ClockGuard, vars)
+	}
+	gs := ctx.guards[:0]
+	for _, pt := range parts {
+		gs = append(gs, e.net.Procs[pt.Proc].Edges[pt.Edge].ClockGuard...)
+	}
+	ctx.guards = gs
+	return e.applyGuardSet(ctx, z, gs, vars)
+}
+
+// applyGuardSet picks the cheaper of the two exact tightening strategies for
+// a guard conjunction: per-constraint single-edge closures (one O(n²) pass
+// per constraint), or the batched deferred path (one O(n²) pass per DISTINCT
+// touched clock, ta.ApplyConstraintsTouched). The batch only wins when the
+// constraints outnumber the distinct clocks they mention — several bounds on
+// the same clock pair, or sync parts re-guarding a shared clock; note a
+// two-sided guard on one clock is a tie (2 constraints, 2 clocks counting
+// the reference), and ties keep the historical per-constraint path. Both
+// paths canonicalize the same intersection, so the resulting zone is
+// bit-identical either way.
+func (e *engine) applyGuardSet(ctx *succCtx, z *dbm.DBM, cs []ta.Constraint, vars []int64) bool {
+	if len(cs) <= 1 {
+		return ta.ApplyConstraints(z, cs, vars)
+	}
+	t := ctx.tGuard
+	t.Reset()
+	for _, c := range cs {
+		t.Add(int(c.I))
+		t.Add(int(c.J))
+	}
+	if t.Len() >= len(cs) {
+		return ta.ApplyConstraints(z, cs, vars)
+	}
+	return ta.ApplyConstraintsTouched(z, cs, vars, t)
+}
+
 // closeInPlace applies the delay closure (when permitted by urgency),
 // re-applies invariants, and extrapolates — producing the canonical stored
-// form of a symbolic state in place.
-func (e *engine) closeInPlace(z *dbm.DBM, locs []ta.LocID, vars []int64) {
+// form of a symbolic state in place. rows/cols are the caller's touched-set
+// scratch (per-worker in succCtx): extrapolation records the rows and
+// columns it loosens there and re-canonicalizes only those (dbm.CloseRows),
+// which removes the full Floyd–Warshall from the hot path while staying
+// bit-identical to it.
+func (e *engine) closeInPlace(z *dbm.DBM, locs []ta.LocID, vars []int64, rows, cols *dbm.Touched) {
 	if e.delayAllowed(locs, vars) {
 		z.Up()
 		// Invariants held before the delay and only constrain from above, so
-		// this intersection cannot empty the zone.
+		// this intersection cannot empty the zone. They are applied one
+		// single-edge closure each (dbm.Constrain): invariants are almost
+		// always one bound per process on that process's own clock, the
+		// distinct-clock shape where batched deferred tightening loses.
 		e.applyInvariants(z, locs, vars)
 	}
 	if e.extraLU {
-		z.ExtraLU(e.net.LowerConsts, e.net.UpperConsts)
+		z.ExtraLUTouched(e.net.LowerConsts, e.net.UpperConsts, rows, cols)
 	} else {
-		z.ExtraM(e.net.MaxConsts)
+		z.ExtraMTouched(e.net.MaxConsts, rows, cols)
 	}
 }
 

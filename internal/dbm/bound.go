@@ -68,6 +68,11 @@ func Add(a, b Bound) Bound {
 	return a + b - ((a | b) & 1)
 }
 
+// addFin is Add for operands already known finite: the closure inner loops
+// hoist the infinity tests out of the hot path, and the encoding-dependent
+// sum lives here, next to Add, rather than copied into each loop.
+func addFin(a, b Bound) Bound { return a + b - ((a | b) & 1) }
+
 // Min returns the tighter of two bounds.
 func Min(a, b Bound) Bound {
 	if a < b {

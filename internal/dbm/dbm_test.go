@@ -312,6 +312,217 @@ func TestExtrapolationReportsChanges(t *testing.T) {
 	}
 }
 
+func TestTouchedSet(t *testing.T) {
+	s := NewTouched(4)
+	if s.Len() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	s.Add(2)
+	s.Add(0)
+	s.Add(2) // duplicate
+	if s.Len() != 2 || !s.Has(2) || !s.Has(0) || s.Has(1) {
+		t.Fatalf("set contents wrong: %v", s.Clocks())
+	}
+	if got := s.Clocks(); len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("insertion order lost: %v", got)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Has(2) || s.Has(0) {
+		t.Fatal("Reset must empty the set")
+	}
+}
+
+// TestCloseRowsRederivesDroppedBound pins the case that forces CloseRows'
+// all-pivot structure: ExtraM drops x1's upper bound (entry (1,0), beyond
+// max[1]=3), but the canonical form re-derives it as <=10 from the KEPT
+// x1-x2 <= 0 and x2 <= 10 bounds — a path through clock 2, which
+// extrapolation never touched. Pivoting only over the touched clocks would
+// leave the entry at infinity and the matrix non-canonical, which would
+// break the hash-keyed passed stores.
+func TestCloseRowsRederivesDroppedBound(t *testing.T) {
+	d := New(4)
+	d.Up()
+	if !d.Constrain(1, 0, LE(10)) {
+		t.Fatal("setup zone empty")
+	}
+	ref := d.Copy()
+	max := []int64{0, 3, 15, 15}
+
+	rows, cols := NewTouched(4), NewTouched(4)
+	if !d.ExtraMTouched(max, rows, cols) {
+		t.Fatal("extrapolation must report a change")
+	}
+	if !rows.Has(1) {
+		t.Error("row 1 must be recorded as touched")
+	}
+	// Reference: the same loosening scan followed by a full Close.
+	refChanged := extraMFullClose(ref, max)
+	if !refChanged {
+		t.Fatal("reference must also change")
+	}
+	if !d.Eq(ref) {
+		t.Fatalf("incremental ExtraM differs from full close:\n got %s\nwant %s", d, ref)
+	}
+	if got := d.At(1, 0); got != LE(10) {
+		t.Errorf("x1's upper bound must be re-derived as <=10 through untouched clock 2, got %v", got)
+	}
+}
+
+// extraMFullClose is the pre-incremental reference: loosen per the Extra_M
+// rules, then run the full Floyd–Warshall.
+func extraMFullClose(d *DBM, max []int64) bool {
+	n := d.Dim()
+	changed := false
+	mc := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return max[i]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b := d.At(i, j)
+			if i == j || b == Infinity {
+				continue
+			}
+			if i != 0 && b > LE(mc(i)) {
+				d.set(i, j, Infinity)
+				changed = true
+			} else if lo := LT(-mc(j)); b < lo {
+				d.set(i, j, lo)
+				changed = true
+			}
+		}
+	}
+	if changed {
+		d.Close()
+	}
+	return changed
+}
+
+func TestQuickExtraMTouchedMatchesFullClose(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 3 + r.Intn(4)
+		d := randomZone(r, dim)
+		max := make([]int64, dim)
+		for c := 1; c < dim; c++ {
+			max[c] = int64(r.Intn(20)) - 2 // negative means "never compared"
+		}
+		inc := d.Copy()
+		ref := d.Copy()
+		rows, cols := NewTouched(dim), NewTouched(dim)
+		if inc.ExtraMTouched(max, rows, cols) != extraMFullClose(ref, max) {
+			return false
+		}
+		return inc.Eq(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloseTouchedMatchesFullOnTightening(t *testing.T) {
+	// Tighten a handful of random entries on a canonical zone, recording both
+	// clocks of each; CloseTouched must agree with the full Close on both the
+	// emptiness verdict and (when nonempty) every bound.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 3 + r.Intn(4)
+		d := randomZone(r, dim)
+		inc := d.Copy()
+		ref := d.Copy()
+		touched := NewTouched(dim)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			i, j := r.Intn(dim), r.Intn(dim)
+			if i == j {
+				continue
+			}
+			b := LE(int64(r.Intn(14) - 2))
+			if b < inc.At(i, j) {
+				inc.set(i, j, b)
+				ref.set(i, j, b)
+				touched.Add(i)
+				touched.Add(j)
+			}
+		}
+		okInc := inc.CloseTouched(touched)
+		okRef := ref.Close()
+		if okInc != okRef {
+			return false
+		}
+		return !okRef || inc.Eq(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectTouchedMatchesIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomZone(r, 4)
+		b := randomZone(r, 4)
+		inc := a.Copy()
+		ref := a.Copy()
+		// Reference: entrywise min followed by a full Close.
+		refChanged := false
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if b.At(i, j) < ref.At(i, j) {
+					ref.set(i, j, b.At(i, j))
+					refChanged = true
+				}
+			}
+		}
+		var okRef bool
+		if refChanged {
+			okRef = ref.Close()
+		} else {
+			okRef = !ref.IsEmpty()
+		}
+		okInc := inc.IntersectTouched(b, NewTouched(4))
+		if okInc != okRef {
+			return false
+		}
+		return !okRef || inc.Eq(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTightenDeferredBatch(t *testing.T) {
+	// A two-sided guard batched through TightenDeferred+CloseTouched must
+	// match sequential Constrain bit for bit.
+	d := New(3)
+	d.Up()
+	seq := d.Copy()
+	if !seq.Constrain(1, 0, LE(9)) || !seq.Constrain(0, 1, LE(-4)) {
+		t.Fatal("sequential path empty")
+	}
+	tch := NewTouched(3)
+	if !d.TightenDeferred(1, 0, LE(9), tch) || !d.TightenDeferred(0, 1, LE(-4), tch) {
+		t.Fatal("deferred path rejected")
+	}
+	if !d.CloseTouched(tch) {
+		t.Fatal("deferred close empty")
+	}
+	if !d.Eq(seq) {
+		t.Fatalf("batched constrain differs:\n got %s\nwant %s", d, seq)
+	}
+	// Early contradiction: the quick reverse check must fire.
+	e := New(3)
+	e.Up()
+	tch.Reset()
+	if !e.TightenDeferred(1, 0, LE(5), tch) {
+		t.Fatal("x1<=5 alone cannot empty")
+	}
+	if e.CloseTouched(tch); e.TightenDeferred(0, 1, LE(-7), tch) {
+		t.Error("x1>=7 must contradict x1<=5 via the reverse bound")
+	}
+}
+
 func TestHashDistinguishes(t *testing.T) {
 	a := New(3)
 	a.Up()
@@ -531,6 +742,46 @@ func TestQuickIntersectionOracle(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// benchExtraSetup builds zones and max constants shaped like the exploration
+// steady state: 10 clocks, most inside the extrapolation box, two (the
+// long-running environment clocks) beyond it — so extrapolation loosens a
+// couple of rows and the incremental closure has few touched rows to re-run.
+func benchExtraSetup(r *rand.Rand) ([]*DBM, []int64) {
+	zones := make([]*DBM, 64)
+	for i := range zones {
+		zones[i] = randomZone(r, 10)
+	}
+	max := make([]int64, 10)
+	for c := 1; c < 10; c++ {
+		max[c] = 100
+	}
+	max[1], max[2] = 2, 3
+	return zones, max
+}
+
+func BenchmarkExtraMFullClose(b *testing.B) {
+	zones, max := benchExtraSetup(rand.New(rand.NewSource(7)))
+	scratch := New(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(zones[i%len(zones)])
+		extraMFullClose(scratch, max)
+	}
+}
+
+func BenchmarkExtraMIncremental(b *testing.B) {
+	zones, max := benchExtraSetup(rand.New(rand.NewSource(7)))
+	scratch := New(10)
+	rows, cols := NewTouched(10), NewTouched(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(zones[i%len(zones)])
+		scratch.ExtraMTouched(max, rows, cols)
 	}
 }
 

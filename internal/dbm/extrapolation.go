@@ -16,14 +16,27 @@ package dbm
 // set the measured clock's max constant at least as large as any bound they
 // want to observe exactly.
 //
-// The returned flag reports whether any bound was abstracted. The full
-// Floyd–Warshall re-canonicalization runs only in that case; the common
-// steady-state case — a zone already inside the extrapolation box — is a
-// read-only scan. Callers can use the flag to skip downstream work that only
-// matters when the zone actually coarsened.
+// The returned flag reports whether any bound was abstracted.
+// Re-canonicalization runs only in that case; the common steady-state case —
+// a zone already inside the extrapolation box — is a read-only scan. Callers
+// can use the flag to skip downstream work that only matters when the zone
+// actually coarsened. This wrapper allocates its own scratch; the
+// exploration hot path calls ExtraMTouched with pooled scratch instead.
 func (d *DBM) ExtraM(max []int64) bool {
+	return d.ExtraMTouched(max, NewTouched(d.dim), NewTouched(d.dim))
+}
+
+// ExtraMTouched is ExtraM with caller-provided scratch: the rows of dropped
+// upper bounds and the columns of relaxed lower bounds are collected into
+// rows and cols (previous contents discarded), and canonical form is
+// restored with CloseRows over just those — O((|rows|+|cols|)·n²) instead of
+// the full O(n³) Floyd–Warshall, bit-identical to it by CloseRows'
+// loosening argument. The zone must be canonical and nonempty on entry, as
+// everywhere in the exploration loop.
+func (d *DBM) ExtraMTouched(max []int64, rows, cols *Touched) bool {
 	n := d.dim
-	changed := false
+	rows.Reset()
+	cols.Reset()
 	mc := func(i int) int64 {
 		if i == 0 {
 			return 0
@@ -41,19 +54,20 @@ func (d *DBM) ExtraM(max []int64) bool {
 				// Upper bound on xi (relative to xj) beyond xi's max
 				// constant: drop it.
 				ri[j] = Infinity
-				changed = true
+				rows.Add(i)
 			} else if lo := LT(-mc(j)); b < lo {
 				// Lower bound on xj below -max: relax to the strict bound at
 				// the max constant.
 				ri[j] = lo
-				changed = true
+				cols.Add(j)
 			}
 		}
 	}
-	if changed {
-		d.Close()
+	if rows.Len() == 0 && cols.Len() == 0 {
+		return false
 	}
-	return changed
+	d.CloseRows(rows, cols)
+	return true
 }
 
 // ExtraLU applies lower/upper-bound extrapolation (Extra_LU from the same
@@ -66,10 +80,18 @@ func (d *DBM) ExtraM(max []int64) bool {
 // As with ExtraM, the upper bound of any clock c with a registered U(c) at
 // least as large as the values of interest is preserved exactly, so WCRT
 // suprema remain exact under the same horizon discipline. Like ExtraM it
-// reports whether any bound changed, and re-closes only then.
+// reports whether any bound changed, re-canonicalizes only then, and has a
+// pooled-scratch variant ExtraLUTouched for the hot path.
 func (d *DBM) ExtraLU(lower, upper []int64) bool {
+	return d.ExtraLUTouched(lower, upper, NewTouched(d.dim), NewTouched(d.dim))
+}
+
+// ExtraLUTouched is ExtraLU with caller-provided scratch, restoring
+// canonical form incrementally exactly like ExtraMTouched.
+func (d *DBM) ExtraLUTouched(lower, upper []int64, rows, cols *Touched) bool {
 	n := d.dim
-	changed := false
+	rows.Reset()
+	cols.Reset()
 	up := func(i int) int64 {
 		if i == 0 {
 			return 0
@@ -91,15 +113,16 @@ func (d *DBM) ExtraLU(lower, upper []int64) bool {
 			}
 			if i != 0 && b > hi {
 				ri[j] = Infinity
-				changed = true
+				rows.Add(i)
 			} else if low := LT(-lo(j)); b < low {
 				ri[j] = low
-				changed = true
+				cols.Add(j)
 			}
 		}
 	}
-	if changed {
-		d.Close()
+	if rows.Len() == 0 && cols.Len() == 0 {
+		return false
 	}
-	return changed
+	d.CloseRows(rows, cols)
+	return true
 }

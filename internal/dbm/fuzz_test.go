@@ -1,0 +1,260 @@
+package dbm
+
+import (
+	"testing"
+)
+
+// FuzzIncrementalClose is the differential property harness for the
+// incremental canonicalization subsystem: a byte-driven interpreter builds a
+// random canonical nonempty zone the way exploration does (delays, resets,
+// frees, axis and diagonal constraints), then every incremental operation is
+// checked bit-for-bit against a full-Floyd–Warshall reference on a copy:
+//
+//   - ExtraMTouched / ExtraLUTouched (CloseRows after loosening) vs the
+//     loosening scan + full Close, including the changed flag;
+//   - IntersectTouched (CloseTouched after tightening) vs entrywise min +
+//     full Close, including the emptiness verdict;
+//   - batched TightenDeferred + CloseTouched vs a sequential Constrain
+//     chain, including the emptiness verdict.
+//
+// The seed corpus under testdata/fuzz pins the known-delicate shapes (bounds
+// re-derived through untouched clocks, empty intersections, batch guards on
+// one clock); `go test` replays it on every run, and CI additionally runs a
+// short -fuzz smoke.
+func FuzzIncrementalClose(f *testing.F) {
+	f.Add([]byte{0})
+	// Two equal-clock zones intersected after diverging resets.
+	f.Add([]byte{2, 0, 1, 2, 9, 2, 1, 30, 0, 3, 1, 5, 12, 40, 7, 0, 8, 1})
+	// Wide dimension, many ops, tiny max constants: dense extrapolation.
+	f.Add([]byte{4, 0, 1, 1, 3, 2, 2, 25, 3, 1, 2, 4, 3, 0, 5, 1, 2, 17, 1, 1, 1, 2, 2, 2, 9, 9, 9})
+	// Diagonal-heavy zone: drops must be re-derived through untouched clocks.
+	f.Add([]byte{3, 0, 2, 1, 10, 5, 1, 2, 2, 5, 2, 3, 8, 3, 200, 15, 15, 60, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{data: data}
+		dim := 2 + int(r.next())%5
+		z := buildFuzzZone(r, dim)
+		if z.IsEmpty() {
+			t.Fatal("zone builder must keep the zone nonempty")
+		}
+
+		// --- extrapolation: CloseRows (loosening) vs full Close ---
+		max := make([]int64, dim)
+		lower := make([]int64, dim)
+		upper := make([]int64, dim)
+		for c := 1; c < dim; c++ {
+			max[c] = int64(r.next()%24) - 2 // negative = never compared
+			lower[c] = int64(r.next()%24) - 2
+			upper[c] = int64(r.next()%24) - 2
+		}
+		rows, cols := NewTouched(dim), NewTouched(dim)
+
+		inc := z.Copy()
+		ref := z.Copy()
+		if inc.ExtraMTouched(max, rows, cols) != extraMFullClose(ref, max) {
+			t.Fatalf("ExtraM changed flag diverges on %s", z)
+		}
+		if !inc.Eq(ref) {
+			t.Fatalf("ExtraM diverges:\n got %s\nwant %s\nfrom %s", inc, ref, z)
+		}
+		assertCanonical(t, "ExtraM", inc)
+
+		incLU := z.Copy()
+		refLU := z.Copy()
+		if incLU.ExtraLUTouched(lower, upper, rows, cols) != extraLUFullClose(refLU, lower, upper) {
+			t.Fatalf("ExtraLU changed flag diverges on %s", z)
+		}
+		if !incLU.Eq(refLU) {
+			t.Fatalf("ExtraLU diverges:\n got %s\nwant %s\nfrom %s", incLU, refLU, z)
+		}
+		assertCanonical(t, "ExtraLU", incLU)
+
+		// --- Intersect: CloseTouched (tightening) vs full Close ---
+		o := buildFuzzZone(r, dim)
+		incI := z.Copy()
+		refI := z.Copy()
+		refChanged := false
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				if o.At(i, j) < refI.At(i, j) {
+					refI.set(i, j, o.At(i, j))
+					refChanged = true
+				}
+			}
+		}
+		okRef := !refI.IsEmpty()
+		if refChanged {
+			okRef = refI.Close()
+		}
+		okInc := incI.IntersectTouched(o, NewTouched(dim))
+		if okInc != okRef {
+			t.Fatalf("Intersect emptiness diverges: inc=%v ref=%v on %s ∩ %s", okInc, okRef, z, o)
+		}
+		if okRef {
+			if !incI.Eq(refI) {
+				t.Fatalf("Intersect diverges:\n got %s\nwant %s", incI, refI)
+			}
+			assertCanonical(t, "Intersect", incI)
+		}
+
+		// --- batched deferred tightening vs sequential Constrain ---
+		nc := 1 + int(r.next())%4
+		type con struct {
+			i, j int
+			b    Bound
+		}
+		cons := make([]con, 0, nc)
+		for k := 0; k < nc; k++ {
+			i := int(r.next()) % dim
+			j := int(r.next()) % dim
+			if i == j {
+				continue
+			}
+			v := int64(r.next()%28) - 6
+			b := LE(v)
+			if r.next()%2 == 0 {
+				b = LT(v)
+			}
+			cons = append(cons, con{i, j, b})
+		}
+		seq := z.Copy()
+		okSeq := true
+		for _, c := range cons {
+			if !seq.Constrain(c.i, c.j, c.b) {
+				okSeq = false
+				break
+			}
+		}
+		bat := z.Copy()
+		tch := NewTouched(dim)
+		okBat := true
+		for _, c := range cons {
+			if !bat.TightenDeferred(c.i, c.j, c.b, tch) {
+				okBat = false
+				break
+			}
+		}
+		if okBat {
+			if tch.Len() == 0 {
+				okBat = !bat.IsEmpty()
+			} else {
+				okBat = bat.CloseTouched(tch)
+			}
+		}
+		if okSeq != okBat {
+			t.Fatalf("batch emptiness diverges: seq=%v batch=%v (%d constraints on %s)",
+				okSeq, okBat, len(cons), z)
+		}
+		if okSeq {
+			if !seq.Eq(bat) {
+				t.Fatalf("batch diverges:\n got %s\nwant %s", bat, seq)
+			}
+			assertCanonical(t, "batch constrain", bat)
+		}
+	})
+}
+
+// byteReader hands out fuzz input bytes, repeating 0 when exhausted.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// buildFuzzZone replays a short op program from the input bytes, mirroring
+// how zones arise during exploration (delay, reset, free, constrain). Ops
+// that would empty the zone are rolled back so the result is always a
+// canonical nonempty zone.
+func buildFuzzZone(r *byteReader, dim int) *DBM {
+	d := New(dim)
+	steps := 3 + int(r.next())%10
+	for s := 0; s < steps; s++ {
+		switch r.next() % 6 {
+		case 0:
+			d.Up()
+		case 1:
+			d.Reset(1+int(r.next())%(dim-1), int64(r.next()%9))
+		case 2:
+			c := 1 + int(r.next())%(dim-1)
+			prev := d.Copy()
+			if !d.Constrain(c, 0, LE(int64(r.next()%25))) {
+				d = prev
+			}
+		case 3:
+			c := 1 + int(r.next())%(dim-1)
+			prev := d.Copy()
+			if !d.Constrain(0, c, LE(-int64(r.next()%12))) {
+				d = prev
+			}
+		case 4:
+			d.Free(1 + int(r.next())%(dim-1))
+		case 5:
+			i := int(r.next()) % dim
+			j := int(r.next()) % dim
+			if i == j {
+				continue
+			}
+			prev := d.Copy()
+			if !d.Constrain(i, j, LE(int64(r.next()%20)-4)) {
+				d = prev
+			}
+		}
+	}
+	return d
+}
+
+// extraLUFullClose is the pre-incremental ExtraLU reference: loosen per the
+// Extra_LU rules, then run the full Floyd–Warshall.
+func extraLUFullClose(d *DBM, lower, upper []int64) bool {
+	n := d.Dim()
+	changed := false
+	up := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return upper[i]
+	}
+	lo := func(j int) int64 {
+		if j == 0 {
+			return 0
+		}
+		return lower[j]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b := d.At(i, j)
+			if i == j || b == Infinity {
+				continue
+			}
+			if i != 0 && b > LE(up(i)) {
+				d.set(i, j, Infinity)
+				changed = true
+			} else if low := LT(-lo(j)); b < low {
+				d.set(i, j, low)
+				changed = true
+			}
+		}
+	}
+	if changed {
+		d.Close()
+	}
+	return changed
+}
+
+// assertCanonical fails unless d is bit-identical to its own full re-closure
+// (i.e. already in canonical form).
+func assertCanonical(t *testing.T, op string, d *DBM) {
+	t.Helper()
+	re := d.Copy()
+	re.Close()
+	if !d.Eq(re) {
+		t.Fatalf("%s left a non-canonical DBM:\n got %s\nwant %s", op, d, re)
+	}
+}

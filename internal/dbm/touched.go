@@ -1,0 +1,49 @@
+package dbm
+
+// Touched is a small set of clock indices used by the incremental
+// canonicalization API (CloseTouched, CloseRows) to record which rows and
+// columns of a DBM an operation modified, so that re-canonicalization can be
+// restricted to them instead of re-running the full O(n³) Floyd–Warshall.
+//
+// A Touched is reusable scratch: Reset costs O(elements added), Add and Has
+// are O(1), and after the initial allocation no operation allocates — the
+// exploration hot loop keeps one per worker (in its succCtx) under the same
+// recycling rules as pooled zones. A Touched is NOT safe for concurrent use.
+type Touched struct {
+	mark []bool
+	list []int32
+}
+
+// NewTouched returns an empty set for DBMs of the given dimension.
+func NewTouched(dim int) *Touched {
+	if dim < 1 {
+		panic("dbm: touched dimension must include the reference clock")
+	}
+	return &Touched{mark: make([]bool, dim), list: make([]int32, 0, dim)}
+}
+
+// Reset empties the set, keeping its storage.
+func (t *Touched) Reset() {
+	for _, c := range t.list {
+		t.mark[c] = false
+	}
+	t.list = t.list[:0]
+}
+
+// Add inserts clock c; duplicates are ignored.
+func (t *Touched) Add(c int) {
+	if !t.mark[c] {
+		t.mark[c] = true
+		t.list = append(t.list, int32(c))
+	}
+}
+
+// Has reports whether clock c is in the set.
+func (t *Touched) Has(c int) bool { return t.mark[c] }
+
+// Len returns the number of distinct clocks recorded.
+func (t *Touched) Len() int { return len(t.list) }
+
+// Clocks returns the recorded clocks in insertion order. The slice aliases
+// the set's storage and is invalidated by Reset and Add.
+func (t *Touched) Clocks() []int32 { return t.list }

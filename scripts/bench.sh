@@ -28,10 +28,19 @@ pattern='Table1_HandleTMC_AL_po$|Table1_HandleTMC_AL_pno$|Table1_AddressLookup_p
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "running: go test -run XXX -bench '$pattern' -benchmem -count=$count ." >&2
-go test -run XXX -bench "$pattern" -benchmem -count="$count" . | tee "$raw" >&2
-
 cores="$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n1 )"
+# -failfast: a panicking benchmark must abort the run instead of scrolling
+# past, and the core count is printed up front so parallel rows from a
+# 1-CPU host are never mistaken for speedups.
+echo "running on $cores core(s): go test -failfast -run XXX -bench '$pattern' -benchmem -count=$count ." >&2
+# No tee: piping would launder go test's exit status through the pipe under
+# plain /bin/sh (no pipefail), letting a panicking benchmark "pass".
+go test -failfast -run XXX -bench "$pattern" -benchmem -count="$count" . > "$raw" || {
+    cat "$raw" >&2
+    echo "bench.sh: go test failed" >&2
+    exit 1
+}
+cat "$raw" >&2
 
 awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cores="$cores" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
