@@ -18,9 +18,16 @@
 // as sequential ones and reconstruct replay-valid traces (which run a trace
 // documents may differ between schedules). -deadlock checks the compiled
 // system for reachable deadlocked configurations instead of computing WCRTs.
+//
+// -json emits the machine-readable result instead of the text report: the
+// exact wire format (internal/wire.ArchResponse) the taserved analysis
+// service returns for the same model, so scripted callers can switch between
+// the CLI and the service without re-parsing anything. It applies to the
+// uppaal WCRT analysis (the batch path, any number of requirements).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +38,7 @@ import (
 	"repro/internal/rtc"
 	"repro/internal/sim"
 	"repro/internal/symta"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -50,6 +58,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers, 1 = sequential (uppaal engine)")
 		deadlock   = flag.Bool("deadlock", false, "check the compiled system for deadlocks instead of computing WCRTs")
 		all        = flag.Bool("all", true, "answer all requirements from one compiled network and one exploration (uppaal engine)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON (the taserved wire format; uppaal WCRT analysis only)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -110,6 +119,25 @@ func main() {
 		fatal(fmt.Errorf("unknown order %q", *order))
 	}
 	copts := core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates, Workers: *workers}
+
+	if *jsonOut {
+		if *engine != "uppaal" || *deadlock {
+			fatal(fmt.Errorf("-json supports the uppaal WCRT analysis only"))
+		}
+		// The batch path answers any number of requirements (one included)
+		// from one exploration and is exactly what taserved runs, so the
+		// emitted bytes match a service result for the same submission.
+		res, err := arch.AnalyzeAll(sys, reqs, arch.Options{HorizonMS: *horizon}, copts)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(wire.FromAllResult(res)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *deadlock {
 		// Deadlock freedom is a property of the whole compiled system; the

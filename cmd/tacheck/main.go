@@ -14,6 +14,11 @@
 // (core.RunQueries) — each query completes independently and the sweep stops
 // once every answer is known, so k questions cost one sweep instead of k.
 //
+// -json emits the machine-readable result instead of the text report: the
+// exact wire format (internal/wire.TAResponse) the taserved analysis service
+// returns for the same model and queries, so scripted callers can switch
+// between the CLI and the service without re-parsing anything.
+//
 // Options: -order bfs|df|rdf, -seed, -max-states, -max-const (extrapolation
 // horizon for the sup clock), -workers (parallel exploration; defaults to
 // the number of CPUs and applies to every query, counterexample and witness
@@ -21,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ta"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -40,6 +47,7 @@ func main() {
 		deadlock  = flag.Bool("deadlock", false, "check deadlock freedom")
 		dot       = flag.Bool("dot", false, "print the network as Graphviz DOT")
 		uppaal    = flag.Bool("uppaal", false, "print the network as UPPAAL 4.x XML")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the taserved wire format)")
 		order     = flag.String("order", "bfs", "search order: bfs, df, rdf")
 		seed      = flag.Int64("seed", 1, "seed for rdf search")
 		maxStates = flag.Int("max-states", 0, "state budget, 0 = exhaustive")
@@ -75,155 +83,100 @@ func main() {
 	// parallel runs reconstruct traces from per-worker parent logs.
 	opts.Workers = *workers
 
-	parseNet := func() *ta.Network {
+	if *dot || *uppaal {
 		net, err := ta.Parse(string(data))
 		if err != nil {
 			fatal(err)
 		}
-		return net
-	}
-
-	if *dot {
-		fmt.Print(parseNet().DOT())
-		return
-	}
-	if *uppaal {
-		fmt.Print(parseNet().UPPAALXML())
+		if *dot {
+			fmt.Print(net.DOT())
+		} else {
+			fmt.Print(net.UPPAALXML())
+		}
 		return
 	}
 
-	// Resolve the network once. The extrapolation horizon of a -sup query
-	// must be registered before Finalize, so that case re-parses with the
-	// constant injected; every requested query then runs against the same
-	// network in ONE exploration.
-	var (
-		net      *ta.Network
-		supClock ta.Clock
-	)
-	supClockName, supPredStr := "", ""
-	if *sup != "" {
-		var cut bool
-		supClockName, supPredStr, cut = strings.Cut(*sup, "@")
-		if !cut {
-			fatal(fmt.Errorf("sup query must be \"clock @ predicate\""))
-		}
-		supClockName = strings.TrimSpace(supClockName)
-		supPredStr = strings.TrimSpace(supPredStr)
-	}
-	if *sup != "" && *maxConst > 0 {
-		net, supClock, err = reparseWithHorizon(string(data), supClockName, *maxConst)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		net = parseNet()
-		if *sup != "" {
-			if supClock, err = core.FindClock(net, supClockName); err != nil {
-				fatal(err)
-			}
-		}
-	}
-
-	// Attach every requested query to one query set; report in flag order.
-	var queries []core.Query
-	var report []func()
+	// Collect every requested query as a wire spec — the identical path the
+	// taserved service takes, so CLI answers and service answers are built
+	// and encoded by the same code (internal/wire.TARun).
+	var specs []wire.TAQuery
 	if *reach != "" {
-		pred, err := core.ParsePredicate(net, *reach)
-		if err != nil {
-			fatal(err)
-		}
-		q := core.NewReachQuery(pred)
-		queries = append(queries, q)
-		report = append(report, func() {
-			fmt.Printf("reachable(%s) = %v   [%s]\n", *reach, q.Found, q.Stats)
-			if q.Found {
-				fmt.Print(core.FormatTrace(net, q.Trace))
-			}
-		})
+		specs = append(specs, wire.TAQuery{Kind: "reach", Pred: *reach})
 	}
 	if *safety != "" {
-		pred, err := core.ParsePredicate(net, *safety)
-		if err != nil {
-			fatal(err)
-		}
-		// AG(pred) as a query: reach its negation; the witness is the
-		// counterexample.
-		q := core.NewReachQuery(func(s *core.State) bool { return !pred(s) })
-		queries = append(queries, q)
-		report = append(report, func() {
-			fmt.Printf("AG(%s) = %v   [%s]\n", *safety, !q.Found, q.Stats)
-			if q.Found {
-				fmt.Print(core.FormatTrace(net, q.Trace))
-			}
-		})
+		specs = append(specs, wire.TAQuery{Kind: "safety", Pred: *safety})
 	}
 	if *sup != "" {
-		pred, err := core.ParsePredicate(net, supPredStr)
-		if err != nil {
-			fatal(err)
+		clock, pred, ok := strings.Cut(*sup, "@")
+		if !ok {
+			fatal(fmt.Errorf("sup query must be \"clock @ predicate\""))
 		}
-		q := core.NewSupClockQuery(supClock.ID, pred)
-		queries = append(queries, q)
-		report = append(report, func() {
-			res := q.Result
-			switch {
-			case !res.Seen:
-				fmt.Printf("sup %s: predicate unreachable   [%s]\n", *sup, res.Stats)
-			case res.Unbounded:
-				fmt.Printf("sup %s: beyond extrapolation horizon (raise -max-const)   [%s]\n", *sup, res.Stats)
-			default:
-				fmt.Printf("sup %s = %v   [%s]\n", *sup, res.Max, res.Stats)
-			}
+		specs = append(specs, wire.TAQuery{
+			Kind:  "sup",
+			Clock: strings.TrimSpace(clock),
+			Pred:  strings.TrimSpace(pred),
 		})
 	}
 	if *deadlock {
-		q := core.NewDeadlockQuery()
-		queries = append(queries, q)
-		report = append(report, func() {
-			fmt.Printf("deadlock-free = %v   [%s]\n", q.Result.Free, q.Result.Stats)
-			if !q.Result.Free {
-				fmt.Print(core.FormatTrace(net, q.Result.Witness))
-			}
-		})
+		specs = append(specs, wire.TAQuery{Kind: "deadlock"})
 	}
-	if len(queries) == 0 {
+	if len(specs) == 0 {
 		fmt.Fprintln(os.Stderr, "tacheck: one of -reach, -safety, -sup, -deadlock, -dot is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if _, err := mustChecker(net).RunQueries(opts, queries...); err != nil {
+
+	// ParseTAModel registers the -max-const horizon on the sup clocks before
+	// the network finalizes; every query then runs against the same network
+	// in ONE exploration.
+	net, err := wire.ParseTAModel(string(data), specs, *maxConst)
+	if err != nil {
 		fatal(err)
 	}
-	for _, r := range report {
-		r()
+	run, err := wire.NewTARun(net, specs)
+	if err != nil {
+		fatal(err)
 	}
-}
+	checker, err := core.NewChecker(net)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := checker.RunQueries(opts, run.Queries()...)
+	if err != nil {
+		fatal(err)
+	}
+	resp := run.Response(stats)
 
-// reparseWithHorizon re-parses the model and registers the extrapolation
-// horizon on the named clock before finalization.
-func reparseWithHorizon(input, clockName string, horizon int64) (*ta.Network, ta.Clock, error) {
-	net, err := ta.ParseWithHook(input, func(n *ta.Network) error {
-		for _, c := range n.Clocks {
-			if c.Name == clockName {
-				n.EnsureMaxConst(c.ID, horizon)
-				return nil
-			}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
 		}
-		return fmt.Errorf("unknown clock %q", clockName)
-	})
-	if err != nil {
-		return nil, ta.Clock{}, err
+		return
 	}
-	clock, err := core.FindClock(net, clockName)
-	return net, clock, err
-}
-
-func mustChecker(net *ta.Network) *core.Checker {
-	c, err := core.NewChecker(net)
-	if err != nil {
-		fatal(err)
+	for _, q := range resp.Queries {
+		switch q.Kind {
+		case "reach":
+			fmt.Printf("reachable(%s) = %v   [%s]\n", q.Pred, q.Verdict, stats)
+			fmt.Print(q.Trace)
+		case "safety":
+			fmt.Printf("AG(%s) = %v   [%s]\n", q.Pred, q.Verdict, stats)
+			fmt.Print(q.Trace)
+		case "sup":
+			switch {
+			case !q.Verdict:
+				fmt.Printf("sup %s @ %s: predicate unreachable   [%s]\n", q.Clock, q.Pred, stats)
+			case q.SupUnbounded:
+				fmt.Printf("sup %s @ %s: beyond extrapolation horizon (raise -max-const)   [%s]\n", q.Clock, q.Pred, stats)
+			default:
+				fmt.Printf("sup %s @ %s = %s   [%s]\n", q.Clock, q.Pred, q.Sup, stats)
+			}
+		case "deadlock":
+			fmt.Printf("deadlock-free = %v   [%s]\n", q.Verdict, stats)
+			fmt.Print(q.Trace)
+		}
 	}
-	return c
 }
 
 func fatal(err error) {

@@ -1,0 +1,91 @@
+// Command taserved serves the repository's whole analysis stack over HTTP:
+// architecture descriptions (archcheck's JSON format) and timed-automata
+// networks (tacheck's .ta format) are submitted as jobs, explored by the
+// multi-query engine under a global CPU budget, and answered with the same
+// wire types the CLIs' -json modes emit — bit-identical to a local run.
+//
+// Usage:
+//
+//	taserved [-addr host:port] [-cpu-tokens n] [-max-jobs n] [-keep-jobs n]
+//	         [-deadline-ms n] [-shutdown-timeout d]
+//
+// The server prints "taserved: listening on http://HOST:PORT" once ready
+// (with -addr :0 the kernel picks the port; the line is the way to learn
+// it). SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, every
+// running job is cooperatively canceled mid-sweep, and the process exits 0
+// once the jobs drain.
+//
+// See the README's "Serving analyses" section for the API and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7420", "listen address (use :0 for a kernel-assigned port)")
+		cpuTokens   = flag.Int("cpu-tokens", runtime.NumCPU(), "global admission budget: max exploration workers running at once")
+		maxJobs     = flag.Int("max-jobs", 64, "max jobs queued or running; beyond it submissions get 429")
+		keepJobs    = flag.Int("keep-jobs", 256, "finished jobs retained as the result cache (LRU)")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "default per-job wall-clock budget in ms (0 = unbounded)")
+		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CPUTokens:       *cpuTokens,
+		MaxActiveJobs:   *maxJobs,
+		MaxFinishedJobs: *keepJobs,
+		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Printf("taserved: listening on http://%s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("taserved: %v, shutting down\n", s)
+	}
+
+	// Graceful shutdown: stop accepting, then cancel running sweeps through
+	// the engine's cooperative cancellation and wait for the jobs to drain.
+	closeCtx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(closeCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "taserved: http shutdown:", err)
+	}
+	if err := srv.Shutdown(*shutTimeout); err != nil {
+		fatal(err)
+	}
+	fmt.Println("taserved: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taserved:", err)
+	os.Exit(1)
+}

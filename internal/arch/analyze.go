@@ -92,10 +92,22 @@ func AnalyzeAll(sys *System, reqs []*Requirement, copts Options, opts core.Optio
 	if err != nil {
 		return nil, err
 	}
+	return cs.Analyze(opts)
+}
+
+// Analyze computes every requirement's worst-case response time from the
+// already-compiled set with ONE exploration: one SupClockQuery per observer
+// clock on one core.RunQueries sweep. It is the analysis half of AnalyzeAll,
+// split out so callers that cache compiled networks (internal/serve) can pay
+// compilation once and run any number of independent explorations against the
+// same CompiledSet — the set is immutable after CompileAll and safe for
+// concurrent Analyze calls, each of which builds its own checker state.
+func (cs *CompiledSet) Analyze(opts core.Options) (*AllResult, error) {
 	checker, err := core.NewChecker(cs.Net)
 	if err != nil {
 		return nil, err
 	}
+	reqs := cs.Reqs
 	sups := make([]*core.SupClockQuery, len(reqs))
 	queries := make([]core.Query, len(reqs))
 	for i := range reqs {
@@ -210,20 +222,31 @@ func WCRTWitness(sys *System, req *Requirement, copts Options, opts core.Options
 	if err != nil {
 		return "", res, err
 	}
+	trace, err := WitnessForResult(sys, req, res, copts, opts)
+	return trace, res, err
+}
+
+// WitnessForResult materializes a critical-instant trace for an
+// already-computed WCRT: one reachability sweep to a seen state whose
+// observer clock reaches the known bound, with no re-measurement. Callers
+// holding batch results (AnalyzeAll, or a cached service verdict) get the
+// trace for the cost of a single extra exploration; WCRTWitness is the
+// compute-then-witness convenience over it.
+func WitnessForResult(sys *System, req *Requirement, res WCRTResult, copts Options, opts core.Options) (string, error) {
 	c, err := Compile(sys, req, copts)
 	if err != nil {
-		return "", res, err
+		return "", err
 	}
 	checker, err := core.NewChecker(c.Net)
 	if err != nil {
-		return "", res, err
+		return "", err
 	}
 	// The witness state allows the observer clock to reach the bound:
 	// its upper bound is at least (≤ value) — or (< value) when the
 	// supremum is approached rather than attained.
 	bound := new(big.Rat).Mul(res.MS, new(big.Rat).SetInt(c.Scale))
 	if !bound.IsInt() {
-		return "", res, fmt.Errorf("arch: internal: WCRT %s not integral in model units", res.MS.RatString())
+		return "", fmt.Errorf("arch: internal: WCRT %s not integral in model units", res.MS.RatString())
 	}
 	v := bound.Num().Int64()
 	atSeen := c.AtSeen()
@@ -238,12 +261,12 @@ func WCRTWitness(sys *System, req *Requirement, copts Options, opts core.Options
 		return sup >= dbm.LT(v)
 	}, opts)
 	if err != nil {
-		return "", res, err
+		return "", err
 	}
 	if !found {
-		return "", res, fmt.Errorf("arch: no witness found at the computed bound (truncated search?)")
+		return "", fmt.Errorf("arch: no witness found at the computed bound (truncated search?)")
 	}
-	return core.FormatTrace(c.Net, trace), res, nil
+	return core.FormatTrace(c.Net, trace), nil
 }
 
 // DeadlockResult is the outcome of CheckDeadlockFree at the architecture

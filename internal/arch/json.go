@@ -135,6 +135,86 @@ func parseArrival(a jsonArrival) (EventModel, error) {
 	return EventModel{}, fmt.Errorf("arch: unknown arrival kind %q", a.Kind)
 }
 
+// MarshalSystem renders a system description plus its requirements into the
+// JSON document format ParseSystem consumes — the inverse of ParseSystem, up
+// to formatting. Round-tripping a system through MarshalSystem/ParseSystem
+// yields an equivalent description (same resources, steps, arrival models as
+// exact rationals, and requirements), which is what lets programmatically
+// built models — the icrns case study in particular — be submitted to the
+// analysis service, whose wire format carries model source, not Go values.
+func MarshalSystem(sys *System, reqs []*Requirement) ([]byte, error) {
+	js := jsonSystem{Name: sys.Name}
+	for _, p := range sys.Processors {
+		js.Processors = append(js.Processors, jsonProcessor{
+			Name: p.Name, MIPS: p.MIPS, Sched: p.Sched.String()})
+	}
+	for _, b := range sys.Buses {
+		jb := jsonBus{Name: b.Name, KBitPerSec: b.KBitPerSec, Sched: b.Sched.String()}
+		if b.TDMA != nil {
+			jt := &jsonTDMA{CycleMS: ratString(b.TDMA.CycleMS)}
+			for _, sl := range b.TDMA.Slots {
+				if sl.Scenario == nil {
+					return nil, fmt.Errorf("arch: MarshalSystem: bus %s has a TDMA slot without a scenario", b.Name)
+				}
+				jt.Slots = append(jt.Slots, jsonSlot{
+					Scenario: sl.Scenario.Name,
+					StartMS:  ratString(sl.StartMS),
+					EndMS:    ratString(sl.EndMS),
+				})
+			}
+			jb.TDMA = jt
+		}
+		js.Buses = append(js.Buses, jb)
+	}
+	for _, sc := range sys.Scenarios {
+		jsc := jsonScenario{Name: sc.Name, Priority: sc.Priority, Arrival: marshalArrival(sc.Arrival)}
+		for i := range sc.Steps {
+			st := &sc.Steps[i]
+			jst := jsonStep{Name: st.Name, Priority: st.Priority}
+			if st.IsCompute() {
+				jst.Processor = st.Proc.Name
+				jst.Instructions = st.Instructions
+			} else {
+				jst.Bus = st.Bus.Name
+				jst.Bytes = st.Bytes
+			}
+			jsc.Steps = append(jsc.Steps, jst)
+		}
+		js.Scenarios = append(js.Scenarios, jsc)
+	}
+	for _, r := range reqs {
+		if r == nil || r.Scenario == nil {
+			return nil, fmt.Errorf("arch: MarshalSystem: requirement without a scenario")
+		}
+		js.Reqs = append(js.Reqs, jsonRequirement{
+			Name: r.Name, Scenario: r.Scenario.Name, From: r.FromStep, To: r.ToStep})
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+func ratString(r *big.Rat) string {
+	if r == nil {
+		return ""
+	}
+	return r.RatString()
+}
+
+// marshalArrival is the inverse of parseArrival; EventKind.String renders
+// exactly the kind keys parseArrival accepts.
+func marshalArrival(m EventModel) jsonArrival {
+	a := jsonArrival{Kind: m.Kind.String(), PeriodMS: ratString(m.PeriodMS)}
+	switch m.Kind {
+	case KindPeriodic:
+		a.OffsetMS = ratString(m.OffsetMS)
+	case KindPeriodicJitter:
+		a.JitterMS = ratString(m.JitterMS)
+	case KindBursty:
+		a.JitterMS = ratString(m.JitterMS)
+		a.MinSepMS = ratString(m.MinSepMS)
+	}
+	return a
+}
+
 // ParseSystem decodes a JSON system description plus its requirements and
 // validates both.
 func ParseSystem(data []byte) (*System, []*Requirement, error) {

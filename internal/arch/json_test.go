@@ -99,6 +99,102 @@ func TestParseSystemErrors(t *testing.T) {
 	}
 }
 
+// TestMarshalSystemRoundTrip pins MarshalSystem as the inverse of
+// ParseSystem: marshalling a parsed system re-parses to an equivalent
+// description (fixed point after one marshal), and the re-parsed copy
+// analyzes to bit-identical verdicts.
+func TestMarshalSystemRoundTrip(t *testing.T) {
+	for name, src := range map[string]string{
+		"pipeline": pipelineJSON,
+		"tdma": `{
+		  "name": "t",
+		  "buses": [{"name": "B", "kbit_per_sec": 8, "sched": "tdma",
+		    "tdma": {"cycle_ms": "20", "slots": [
+		      {"scenario": "s", "start_ms": "0", "end_ms": "5"}]}}],
+		  "scenarios": [{"name": "s", "priority": 1,
+		    "arrival": {"kind": "sp", "period_ms": "50"},
+		    "steps": [{"name": "m", "bus": "B", "bytes": 3}]}],
+		  "requirements": [{"name": "e", "scenario": "s", "from": -1, "to": 0}]
+		}`,
+		"rational-bursty": `{
+		  "name": "x",
+		  "processors": [{"name": "P", "mips": 22}],
+		  "scenarios": [{
+		    "name": "s", "priority": 1,
+		    "arrival": {"kind": "bur", "period_ms": "125/4", "jitter_ms": "125/2", "min_sep_ms": "0"},
+		    "steps": [{"name": "op", "processor": "P", "instructions": 100000}]
+		  }],
+		  "requirements": [{"name": "e", "scenario": "s", "from": -1, "to": 0}]
+		}`,
+	} {
+		sys, reqs, err := ParseSystem([]byte(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		out, err := MarshalSystem(sys, reqs)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		sys2, reqs2, err := ParseSystem(out)
+		if err != nil {
+			t.Fatalf("%s: re-parse of marshalled output: %v\n%s", name, err, out)
+		}
+		out2, err := MarshalSystem(sys2, reqs2)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if string(out) != string(out2) {
+			t.Errorf("%s: marshal not a fixed point after one round trip:\n%s\nvs\n%s", name, out, out2)
+		}
+		a1, err := AnalyzeAll(sys, reqs, Options{HorizonMS: 200}, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: analyze original: %v", name, err)
+		}
+		a2, err := AnalyzeAll(sys2, reqs2, Options{HorizonMS: 200}, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: analyze round-tripped: %v", name, err)
+		}
+		for i := range a1.Results {
+			r1, r2 := a1.Results[i], a2.Results[i]
+			if r1.MS.Cmp(r2.MS) != 0 || r1.Attained != r2.Attained || r1.Exact != r2.Exact ||
+				r1.BeyondHorizon != r2.BeyondHorizon {
+				t.Errorf("%s: %s: round-tripped verdict %s differs from original %s",
+					name, r1.Req.Name, r2.MS.RatString(), r1.MS.RatString())
+			}
+		}
+	}
+}
+
+// TestMarshalSystemProgrammatic covers a builder-constructed system (the
+// path the service oracle uses for the case-study models): marshal, parse,
+// and compare the analysis verdicts.
+func TestMarshalSystemProgrammatic(t *testing.T) {
+	sys, hi, lo := contended(SchedFPPreempt)
+	reqs := []*Requirement{EndToEnd("hi", hi), EndToEnd("lo", lo)}
+	data, err := MarshalSystem(sys, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, reqs2, err := ParseSystem(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	a1, err := AnalyzeAll(sys, reqs, Options{HorizonMS: 100}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnalyzeAll(sys2, reqs2, Options{HorizonMS: 100}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Results {
+		if a1.Results[i].MS.Cmp(a2.Results[i].MS) != 0 {
+			t.Errorf("%s: %s != %s after round trip",
+				reqs[i].Name, a1.Results[i].MS.RatString(), a2.Results[i].MS.RatString())
+		}
+	}
+}
+
 func TestParseSystemTDMA(t *testing.T) {
 	js := `{
 	  "name": "t",

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ta"
+)
+
+// buildHuge constructs a network whose zone graph is far too large to sweep
+// within the test's patience: six free-phase generators with co-prime periods
+// feeding a shared counter. Cancellation and deadline tests abort mid-sweep
+// against it, so a run that fails to abort hangs visibly instead of passing
+// by finishing early.
+func buildHuge(t *testing.T) *ta.Network {
+	t.Helper()
+	n := ta.NewNetwork("huge")
+	sx := n.AddClock("sx")
+	rec := n.AddVar("rec", 0, 0, 40)
+	hurry := n.AddChan("hurry", ta.BroadcastUrgent)
+	for i, period := range []int64{7, 11, 13, 17, 19, 23} {
+		gx := n.AddClock("gx" + string(rune('0'+i)))
+		gen := n.AddProcess("GEN" + string(rune('0'+i)))
+		g0 := gen.AddLocation("tick", ta.Normal, ta.CLE(gx, period))
+		gen.AddEdge(ta.Edge{Src: g0, Dst: g0, ClockGuard: ta.CEq(gx, period),
+			Resets: []ta.Reset{{Clock: gx.ID, Value: 0}}, Update: ta.Inc(rec, 1)})
+	}
+	srv := n.AddProcess("SRV")
+	idle := srv.AddLocation("idle", ta.Normal)
+	busy := srv.AddLocation("busy", ta.Normal, ta.CLE(sx, 2))
+	srv.AddEdge(ta.Edge{Src: idle, Dst: busy,
+		Guard:  ta.VarCmp(rec, ta.Gt, 0),
+		Sync:   ta.Sync{Chan: hurry.ID, Dir: ta.Emit},
+		Resets: []ta.Reset{{Clock: sx.ID, Value: 0}},
+		Update: ta.Inc(rec, -1)})
+	srv.AddEdge(ta.Edge{Src: busy, Dst: idle, ClockGuard: ta.CEq(sx, 2)})
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCancelMidSweep closes the cancel channel from inside the sweep (after
+// a fixed number of admissions) and requires a prompt ErrCanceled with
+// partial stats, sequentially and on the work-stealing frontier.
+func TestCancelMidSweep(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := buildHuge(t)
+		c, err := NewChecker(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancel := make(chan struct{})
+		var admitted atomic.Int64
+		var closed atomic.Bool
+		visit := func(s *State) bool {
+			if admitted.Add(1) == 500 && closed.CompareAndSwap(false, true) {
+				close(cancel)
+			}
+			return false
+		}
+		start := time.Now()
+		res, err := c.Explore(Options{Workers: workers, Cancel: cancel}, visit)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Errorf("workers=%d: cancellation took %v, not prompt", workers, elapsed)
+		}
+		// Partial stats: the sweep got past the trigger point but nowhere
+		// near the full graph (which holds far more than 10x the trigger).
+		if res.Stored < 500 {
+			t.Errorf("workers=%d: stored %d, want >= 500 (cancel fired at 500 admissions)", workers, res.Stored)
+		}
+		if res.Popped == 0 {
+			t.Errorf("workers=%d: partial stats missing popped count", workers)
+		}
+	}
+}
+
+// TestCancelLeavesEngineReusable is the pool-cleanliness oracle for
+// cancellation: a canceled sweep must not corrupt anything a later sweep
+// touches. A full exploration on the same checker after a cancel must be
+// bit-identical to one on a fresh checker (same stored/transition counts,
+// the determinism the recycling protocol guarantees — see pool_test.go).
+func TestCancelLeavesEngineReusable(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	var admitted atomic.Int64
+	_, err = c.Explore(Options{Cancel: cancel}, func(*State) bool {
+		if admitted.Add(1) == 20 {
+			close(cancel)
+		}
+		return false
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+
+	after, err := c.Explore(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Explore(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stored != want.Stored || after.Transitions != want.Transitions ||
+		after.Popped != want.Popped || after.Deadlocks != want.Deadlocks {
+		t.Errorf("post-cancel sweep %+v differs from fresh checker %+v", after.Stats, want.Stats)
+	}
+}
+
+// TestDeadlineMidSweep bounds a hopeless sweep by wall clock and requires
+// ErrDeadlineExceeded with partial stats.
+func TestDeadlineMidSweep(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := buildHuge(t)
+		c, err := NewChecker(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := c.Explore(Options{Workers: workers, Deadline: start.Add(50 * time.Millisecond)}, nil)
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want ErrDeadlineExceeded", workers, err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Errorf("workers=%d: deadline abort took %v, not prompt", workers, elapsed)
+		}
+		if res.Stored == 0 || res.Popped == 0 {
+			t.Errorf("workers=%d: expected partial stats, got %+v", workers, res.Stats)
+		}
+	}
+}
+
+// TestAbortBeforeStart covers the pre-flight check: an expired deadline or a
+// closed cancel channel refuses the run with zero stats and leaves the
+// queries unused, so the same query value can still run afterwards.
+func TestAbortBeforeStart(t *testing.T) {
+	n, sx, _, busy := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSupClockQuery(sx.ID, func(s *State) bool { return s.Locs[3] == busy })
+	if _, err := c.RunQueries(Options{Deadline: time.Now().Add(-time.Second)}, q); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want ErrDeadlineExceeded", err)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	if _, err := c.RunQueries(Options{Cancel: closed}, q); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("closed cancel: err = %v, want ErrCanceled", err)
+	}
+	// The refused runs never consumed the query; it still answers exactly.
+	if _, err := c.RunQueries(Options{}, q); err != nil {
+		t.Fatalf("query unusable after refused runs: %v", err)
+	}
+	if !q.Result.Seen {
+		t.Error("query did not run after refused attempts")
+	}
+}
+
+// TestDeadlineWinsOverCancel pins the check order: when both abort signals
+// have fired, the more specific ErrDeadlineExceeded is reported — that is
+// what lets callers driving a context distinguish expiry from cancellation.
+func TestDeadlineWinsOverCancel(t *testing.T) {
+	n := buildHuge(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	_, err = c.Explore(Options{Cancel: closed, Deadline: time.Now().Add(-time.Second)}, nil)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded to win", err)
+	}
+}
+
+// TestMonitorFinalSnapshotMatchesStats requires a post-run Snapshot to equal
+// the run's exact Stats, for both frontiers.
+func TestMonitorFinalSnapshotMatchesStats(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n, _, _, _ := buildGrid(t)
+		c, err := NewChecker(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mon Monitor
+		res, err := c.Explore(Options{Workers: workers, Monitor: &mon}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mon.Snapshot()
+		if p.Running {
+			t.Errorf("workers=%d: monitor still Running after the run returned", workers)
+		}
+		if p.Stored != int64(res.Stored) || p.Popped != int64(res.Popped) ||
+			p.Transitions != int64(res.Transitions) || p.Deadlocks != int64(res.Deadlocks) {
+			t.Errorf("workers=%d: final snapshot %+v != stats %+v", workers, p, res.Stats)
+		}
+		if p.Frontier != 0 {
+			t.Errorf("workers=%d: final snapshot frontier = %d, want 0", workers, p.Frontier)
+		}
+		if p.Workers != workers {
+			t.Errorf("workers=%d: snapshot workers = %d", workers, p.Workers)
+		}
+	}
+}
+
+// TestMonitorLiveSnapshot samples the monitor mid-sweep (from the visitor,
+// which runs on a worker goroutine) and requires a plausible in-flight view:
+// running, stored at least as large as the admissions seen, backlog visible.
+func TestMonitorLiveSnapshot(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mon Monitor
+	var sampled atomic.Bool
+	var snap Progress
+	var maxFrontier int64
+	_, err = c.Explore(Options{Monitor: &mon}, func(*State) bool {
+		p := mon.Snapshot()
+		if p.Frontier > maxFrontier {
+			maxFrontier = p.Frontier
+		}
+		if p.Stored >= 100 && sampled.CompareAndSwap(false, true) {
+			snap = p
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled.Load() {
+		t.Fatal("sweep too small to sample at 100 stored states")
+	}
+	if !snap.Running {
+		t.Error("mid-sweep snapshot not Running")
+	}
+	if snap.Stored < 100 {
+		t.Errorf("mid-sweep snapshot stored = %d, want >= 100", snap.Stored)
+	}
+	// The grid's BFS backlog is narrow but not empty: the depth counter must
+	// have registered waiting states at some point of the sweep.
+	if maxFrontier <= 0 {
+		t.Errorf("frontier depth never rose above 0 across the sweep")
+	}
+}
+
+// TestMonitorZeroValue pins the unattached behavior.
+func TestMonitorZeroValue(t *testing.T) {
+	var mon Monitor
+	if p := mon.Snapshot(); p != (Progress{}) {
+		t.Errorf("unattached snapshot = %+v, want zero", p)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -11,6 +12,21 @@ import (
 
 	"repro/internal/dbm"
 )
+
+// ErrCanceled reports an exploration stopped early through Options.Cancel.
+// The accompanying Stats are the partial effort up to the abort.
+var ErrCanceled = errors.New("core: exploration canceled")
+
+// ErrDeadlineExceeded reports an exploration stopped early because
+// Options.Deadline passed. The accompanying Stats are the partial effort up
+// to the abort.
+var ErrDeadlineExceeded = errors.New("core: exploration deadline exceeded")
+
+// abortCheckMask throttles the cancellation/deadline check in the worker
+// loop: every (mask+1)-th expansion polls the cancel channel and the clock,
+// so an abort lands within a bounded number of expansions while the hot path
+// stays branch-cheap when neither is configured.
+const abortCheckMask = 31
 
 // This file is the unified exploration engine. Sequential and parallel runs
 // share one worker loop (explorer.run), one statistics path, and one trace
@@ -109,33 +125,58 @@ type frontier interface {
 	// expanded (every successor pushed); the parallel frontier counts these
 	// against its termination barrier.
 	expanded(w int)
+	// depth reports the current backlog — states admitted but not yet fully
+	// expanded — for progress monitoring. Safe to call from any goroutine
+	// while workers run; the value is a relaxed snapshot.
+	depth() int64
 }
 
 // listFrontier is the sequential waiting list: FIFO for BFS, LIFO for
-// DFS/RDFS (successor shuffling happens in the worker loop).
+// DFS/RDFS (successor shuffling happens in the worker loop). waiting, when
+// non-nil, mirrors len(list) atomically so Monitor.Snapshot can read the
+// backlog from another goroutine without racing the worker's appends; it is
+// allocated only for monitored runs, so the ordinary sequential hot path
+// pays no atomics.
 type listFrontier struct {
-	order Order
-	list  []*State
-	stop  *atomic.Bool
+	order   Order
+	list    []*State
+	waiting *atomic.Int64 // non-nil only when a Monitor samples the run
+	stop    *atomic.Bool
 }
 
-func (f *listFrontier) push(_ int, s *State) { f.list = append(f.list, s) }
+func (f *listFrontier) push(_ int, s *State) {
+	f.list = append(f.list, s)
+	if f.waiting != nil {
+		f.waiting.Add(1)
+	}
+}
 
 func (f *listFrontier) pop(_ int) *State {
 	if f.stop.Load() || len(f.list) == 0 {
 		return nil
 	}
+	var s *State
 	if f.order == BFS {
-		s := f.list[0]
+		s = f.list[0]
 		f.list = f.list[1:]
-		return s
+	} else {
+		s = f.list[len(f.list)-1]
+		f.list = f.list[:len(f.list)-1]
 	}
-	s := f.list[len(f.list)-1]
-	f.list = f.list[:len(f.list)-1]
+	if f.waiting != nil {
+		f.waiting.Add(-1)
+	}
 	return s
 }
 
 func (f *listFrontier) expanded(int) {}
+
+func (f *listFrontier) depth() int64 {
+	if f.waiting == nil {
+		return 0
+	}
+	return f.waiting.Load()
+}
 
 // dequeFrontier is the work-stealing frontier: one Chase–Lev deque per
 // worker (LIFO expansion, FIFO steals) and a pending counter as termination
@@ -201,6 +242,8 @@ func (f *dequeFrontier) pop(w int) *State {
 
 func (f *dequeFrontier) expanded(int) { f.pending.Add(-1) }
 
+func (f *dequeFrontier) depth() int64 { return f.pending.Load() }
+
 // explorer carries the shared mutable state of one exploration run. The only
 // shared structures are the passed store, the frontier, the parent logs
 // (per-worker ownership), the queries' per-worker accumulators and completion
@@ -213,6 +256,11 @@ type explorer struct {
 	passed  passedSet
 	front   frontier
 	logs    *parentLogs // nil when no trace can be requested
+	mon     *monView    // nil when no Monitor is attached
+
+	// hasAbort caches "Cancel or Deadline configured" so the worker loop
+	// pays a single predictable branch when neither is.
+	hasAbort bool
 
 	stop atomic.Bool
 	// live counts queries that have not yet completed; the completion that
@@ -234,6 +282,24 @@ type explorer struct {
 func (e *explorer) fail(err error) {
 	e.firstErr.CompareAndSwap(nil, &err)
 	e.stop.Store(true)
+}
+
+// abortErr polls the cooperative abort signals: the wall-clock deadline
+// first (so a canceled-because-expired context still reports the more
+// specific ErrDeadlineExceeded), then the cancel channel. nil means keep
+// going.
+func (e *explorer) abortErr() error {
+	if !e.opts.Deadline.IsZero() && time.Now().After(e.opts.Deadline) {
+		return ErrDeadlineExceeded
+	}
+	if e.opts.Cancel != nil {
+		select {
+		case <-e.opts.Cancel:
+			return ErrCanceled
+		default:
+		}
+	}
+	return nil
 }
 
 // completeQuery marks q done on state s: the first completer captures a
@@ -284,12 +350,29 @@ func (e *explorer) run(w int) {
 	}
 	var succs []succ
 	var nPopped, nTransitions, nDeadlocks int64
+	var cell *monCell
+	if e.mon != nil {
+		cell = &e.mon.cells[w]
+	}
 	defer func() {
 		e.popped.Add(nPopped)
 		e.transitions.Add(nTransitions)
 		e.deadlocks.Add(nDeadlocks)
 	}()
 	for {
+		if e.hasAbort && nPopped&abortCheckMask == 0 {
+			if err := e.abortErr(); err != nil {
+				e.fail(err)
+				return
+			}
+		}
+		if cell != nil {
+			// Live-progress publication: single-writer relaxed stores of the
+			// loop locals into this worker's padded cell, summed on read by
+			// Monitor.Snapshot. Never an RMW, never contended — the hot path
+			// cost is two or three uncontended stores per expansion.
+			cell.publish(nPopped, nTransitions, nDeadlocks)
+		}
 		s := e.front.pop(w)
 		if s == nil {
 			return
@@ -365,6 +448,16 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 		return res, err
 	}
 	e := &explorer{c: c, opts: opts, queries: queries}
+	e.hasAbort = opts.Cancel != nil || !opts.Deadline.IsZero()
+	if e.hasAbort {
+		// Refuse to start an already-aborted run: a closed Cancel channel or
+		// an expired Deadline returns immediately with zero Stats, before any
+		// query is marked used.
+		if aerr := e.abortErr(); aerr != nil {
+			res.Duration = time.Since(start)
+			return res, aerr
+		}
+	}
 	e.deadRef.Store(noRef)
 	e.live.Store(int64(len(queries)))
 	// Parent logs exist exactly when a trace can be requested: a query may
@@ -409,10 +502,21 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 		if parallel {
 			e.front = newDequeFrontier(workers, opts.Seed, opts.dequeCapacity(), &e.stop)
 		} else {
-			e.front = &listFrontier{order: opts.Order, stop: &e.stop}
+			lf := &listFrontier{order: opts.Order, stop: &e.stop}
+			if opts.Monitor != nil {
+				lf.waiting = new(atomic.Int64)
+			}
+			e.front = lf
 		}
 		e.front.push(0, init)
-
+	}
+	// Attach the monitor strictly after e.front is in place: the atomic
+	// publication inside attach orders the frontier write before any
+	// Snapshot reads it.
+	if opts.Monitor != nil {
+		e.mon = opts.Monitor.attach(e, workers)
+	}
+	if !drained {
 		if parallel {
 			var wg sync.WaitGroup
 			wg.Add(workers)
@@ -426,6 +530,11 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 		} else {
 			e.run(0)
 		}
+	}
+	if e.mon != nil {
+		// Workers are done and their deferred flushes have landed in the
+		// explorer atomics; later Snapshots read those exact totals.
+		e.mon.setDone()
 	}
 
 	res.Duration = time.Since(start)

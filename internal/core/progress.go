@@ -1,0 +1,132 @@
+package core
+
+import "sync/atomic"
+
+// This file is the live-progress view of the unified explorer: a Monitor
+// attached through Options.Monitor lets another goroutine sample a running
+// exploration (states stored, expansion counters, frontier backlog) without
+// perturbing it. The mechanism follows the per-worker ownership style of the
+// rest of the engine: every worker publishes its loop-local counters into its
+// own cache-line-padded cell with plain atomic stores (single writer, never a
+// read-modify-write, never contended), and Snapshot sums the cells. Once the
+// run finishes, Snapshot switches to the explorer's exact flushed totals, so
+// a final sample equals the run's Stats.
+
+// Progress is a point-in-time view of one exploration.
+type Progress struct {
+	// Stored counts unique (non-subsumed) symbolic states admitted so far.
+	Stored int64
+	// Popped counts states taken from the frontier and expanded so far.
+	Popped int64
+	// Transitions counts generated successors so far, subsumed ones included.
+	Transitions int64
+	// Deadlocks counts expanded states with no action successor so far.
+	Deadlocks int64
+	// Frontier is the current backlog: states admitted but not yet fully
+	// expanded. Zero once the run is over.
+	Frontier int64
+	// Workers is the worker count of the observed run.
+	Workers int
+	// Running reports whether the observed exploration is still going. While
+	// true, the counters are a relaxed (slightly stale, never torn) view;
+	// once false they are the run's exact totals.
+	Running bool
+}
+
+// monCell is one worker's published counters, padded so neighboring workers'
+// stores never share a cache line.
+type monCell struct {
+	popped      atomic.Int64
+	transitions atomic.Int64
+	deadlocks   atomic.Int64
+	_           [40]byte
+}
+
+// publish stores the worker's loop locals; single writer per cell.
+func (c *monCell) publish(popped, transitions, deadlocks int64) {
+	c.popped.Store(popped)
+	c.transitions.Store(transitions)
+	c.deadlocks.Store(deadlocks)
+}
+
+// monView binds a Monitor to one exploration run. The explorer pointer is
+// dropped at completion so a long-retained Monitor (a finished service job
+// in a result cache) pins only the final totals — never the run's passed
+// store, parent logs, or zones.
+type monView struct {
+	e     atomic.Pointer[explorer]
+	cells []monCell
+	// final holds the exact flushed totals once the run is over; stored
+	// strictly before e is cleared, so a Snapshot that finds e nil re-reads
+	// final and always gets it.
+	final atomic.Pointer[Progress]
+}
+
+// setDone freezes the run's exact totals and releases the explorer.
+func (v *monView) setDone() {
+	e := v.e.Load()
+	if e == nil {
+		return
+	}
+	p := Progress{
+		Workers:     len(v.cells),
+		Stored:      e.stored.Load(),
+		Popped:      e.popped.Load(),
+		Transitions: e.transitions.Load(),
+		Deadlocks:   e.deadlocks.Load(),
+	}
+	v.final.Store(&p)
+	v.e.Store(nil)
+}
+
+// Monitor publishes live progress of an exploration run. The zero value is
+// ready to use: pass it via Options.Monitor and call Snapshot from any
+// goroutine while (or after) the run executes. A Monitor observes one
+// exploration at a time — attaching it to a second run replaces the view of
+// the first; Snapshot then reports the latest run.
+type Monitor struct {
+	v atomic.Pointer[monView]
+}
+
+// attach binds the monitor to a starting run. Called by explore strictly
+// after the explorer's frontier is in place, so the atomic store here orders
+// every explorer field Snapshot reads.
+func (m *Monitor) attach(e *explorer, workers int) *monView {
+	v := &monView{cells: make([]monCell, workers)}
+	v.e.Store(e)
+	m.v.Store(v)
+	return v
+}
+
+// Snapshot samples the observed run. Before any run is attached it returns
+// the zero Progress; during a run, a relaxed lock-free view; after it, the
+// exact totals (equal to the run's Stats counters).
+func (m *Monitor) Snapshot() Progress {
+	v := m.v.Load()
+	if v == nil {
+		return Progress{}
+	}
+	if f := v.final.Load(); f != nil {
+		return *f
+	}
+	e := v.e.Load()
+	if e == nil {
+		// Completion raced the loads above: final was stored before e was
+		// cleared, so it is visible now.
+		if f := v.final.Load(); f != nil {
+			return *f
+		}
+		return Progress{}
+	}
+	p := Progress{Workers: len(v.cells), Stored: e.stored.Load(), Running: true}
+	for i := range v.cells {
+		c := &v.cells[i]
+		p.Popped += c.popped.Load()
+		p.Transitions += c.transitions.Load()
+		p.Deadlocks += c.deadlocks.Load()
+	}
+	if f := e.front; f != nil {
+		p.Frontier = f.depth()
+	}
+	return p
+}

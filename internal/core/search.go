@@ -74,6 +74,28 @@ type Options struct {
 	// churn. Only meaningful with Workers > 1.
 	DequeCapacity int
 
+	// Cancel, when non-nil, cancels the exploration cooperatively: once the
+	// channel is closed (or receives), every worker stops within a bounded
+	// number of expansions and the run returns ErrCanceled with the partial
+	// Stats accumulated so far. Cancellation honors the pool and parent-log
+	// ownership invariants — workers abort only between expansions, so every
+	// state is either recycled through its owning succCtx or abandoned to the
+	// garbage collector with the per-run pools; nothing dangles into a later
+	// run. Typically wired to a context's Done channel by callers that manage
+	// jobs (internal/serve).
+	Cancel <-chan struct{}
+	// Deadline, when nonzero, bounds the exploration by wall clock: a run
+	// still going when the deadline passes stops cooperatively like Cancel
+	// and returns ErrDeadlineExceeded with partial Stats. The two aborts are
+	// distinguishable via errors.Is even when both trigger (deadline wins the
+	// check order).
+	Deadline time.Time
+	// Monitor, when non-nil, publishes live progress of the run: states
+	// stored/popped/transitions and the frontier backlog, sampled lock-free
+	// from per-worker relaxed counters (see Monitor.Snapshot). A Monitor
+	// observes one exploration at a time.
+	Monitor *Monitor
+
 	// noTrace disables parent logging for in-package queries that can prove
 	// they never request a trace (MaxVar). Zero value keeps logging on
 	// whenever a query or StopAtDeadlock could stop the run with a trace.

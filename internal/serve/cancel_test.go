@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// hugeTASource renders a model whose zone graph is far too large to sweep
+// within the tests' patience (six free generators with co-prime periods and
+// a deep shared counter): jobs against it only ever end by cancellation,
+// deadline, or shutdown. An extra generator period distinguishes variants so
+// tests can mint non-identical submissions on demand.
+func hugeTASource(lastPeriod int64) string {
+	var b strings.Builder
+	b.WriteString("system:huge\nclock:sx\nint:rec:0:0:40\nchan:hurry:urgent-broadcast\n")
+	periods := []int64{7, 11, 13, 17, 19, lastPeriod}
+	for i := range periods {
+		fmt.Fprintf(&b, "clock:gx%d\n", i)
+	}
+	for i, p := range periods {
+		fmt.Fprintf(&b, "process:GEN%d\n", i)
+		fmt.Fprintf(&b, "location:GEN%d:tick{initial; invariant: gx%d<=%d}\n", i, i, p)
+		fmt.Fprintf(&b, "edge:GEN%d:tick:tick{guard: gx%d==%d && rec<40; do: rec=rec+1, gx%d=0}\n", i, i, p, i)
+	}
+	b.WriteString("process:SRV\nlocation:SRV:idle{initial}\nlocation:SRV:busy{invariant: sx<=2}\n")
+	b.WriteString("edge:SRV:idle:busy{guard: rec>0; sync: hurry!; do: rec=rec-1, sx=0}\n")
+	b.WriteString("edge:SRV:busy:idle{guard: sx==2}\n")
+	return b.String()
+}
+
+func hugeSubmit(lastPeriod int64, deadlineMS int64) SubmitRequest {
+	return SubmitRequest{
+		Kind:    "ta",
+		Model:   hugeTASource(lastPeriod),
+		Queries: []wire.TAQuery{{Kind: "deadlock"}},
+		Options: SubmitOptions{DeadlineMS: deadlineMS},
+	}
+}
+
+// awaitProgress polls until the job reports at least minStored states.
+func awaitProgress(t *testing.T, base, id string, minStored int64, timeout time.Duration) StatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body := getBody(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status: %d: %s", code, body)
+		}
+		var st StatusResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Progress.Stored >= minStored || st.State == StateDone ||
+			st.State == StateFailed || st.State == StateCanceled {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %d stored states: %+v", id, minStored, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCancelEndpointMidSweep cancels a hopeless job mid-sweep and requires a
+// prompt canceled state with partial progress still readable.
+func TestCancelEndpointMidSweep(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	sr := submit(t, ts.URL, hugeSubmit(23, 0))
+	st := awaitProgress(t, ts.URL, sr.JobID, 2000, time.Minute)
+	if st.State != StateRunning {
+		t.Fatalf("job %s: %s (%s), want running mid-sweep", sr.JobID, st.State, st.Error)
+	}
+	begin := time.Now()
+	code, body := postJSON(t, ts.URL+"/v1/jobs/"+sr.JobID+"/cancel", nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: %d: %s", code, body)
+	}
+	final := await(t, ts.URL, sr.JobID, 30*time.Second)
+	if final.State != StateCanceled {
+		t.Fatalf("state after cancel = %s (%s)", final.State, final.Error)
+	}
+	if elapsed := time.Since(begin); elapsed > 20*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	// Partial progress survives the abort; the sweep had stored thousands.
+	if final.Progress.Stored < 2000 {
+		t.Errorf("final progress %+v lost the partial sweep", final.Progress)
+	}
+	if c := s.Stats(); c.Canceled == 0 {
+		t.Errorf("canceled counter not bumped: %+v", c)
+	}
+	// The result endpoint reports the state instead of a result.
+	if code, body := getBody(t, ts.URL+"/v1/jobs/"+sr.JobID+"/result"); code != http.StatusConflict {
+		t.Errorf("result of canceled job: %d (%s), want 409", code, body)
+	}
+	// A canceled job does not poison the cache: resubmitting the identical
+	// work starts a fresh attempt.
+	again := submit(t, ts.URL, hugeSubmit(23, 0))
+	if again.JobID != sr.JobID || !again.Created {
+		t.Errorf("resubmission after cancel: %+v, want a fresh attempt under the same key", again)
+	}
+	postJSON(t, ts.URL+"/v1/jobs/"+again.JobID+"/cancel", nil)
+	await(t, ts.URL, again.JobID, 30*time.Second)
+}
+
+// TestDeadlineExceededJob bounds a hopeless job by wall clock; it must fail
+// with exactly the DeadlineExceeded error name.
+func TestDeadlineExceededJob(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	sr := submit(t, ts.URL, hugeSubmit(29, 150))
+	final := await(t, ts.URL, sr.JobID, 30*time.Second)
+	if final.State != StateFailed || final.Error != errDeadlineExceeded {
+		t.Fatalf("deadline job: %s (%q), want failed (DeadlineExceeded)", final.State, final.Error)
+	}
+	if c := s.Stats(); c.Expired == 0 {
+		t.Errorf("expired counter not bumped: %+v", c)
+	}
+}
+
+// TestServerDefaultDeadline applies the configured budget when the
+// submission does not set one.
+func TestServerDefaultDeadline(t *testing.T) {
+	_, ts := testServer(t, Config{DefaultDeadline: 150 * time.Millisecond})
+	sr := submit(t, ts.URL, hugeSubmit(31, 0))
+	final := await(t, ts.URL, sr.JobID, 30*time.Second)
+	if final.State != StateFailed || final.Error != errDeadlineExceeded {
+		t.Fatalf("default-deadline job: %s (%q)", final.State, final.Error)
+	}
+}
+
+// TestGracefulShutdownCancelsJobs drives the shutdown path: a running sweep
+// is cooperatively canceled, the drain completes, and intake closes.
+func TestGracefulShutdownCancelsJobs(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sr := submit(t, ts.URL, hugeSubmit(37, 0))
+	awaitProgress(t, ts.URL, sr.JobID, 2000, time.Minute)
+
+	begin := time.Now()
+	if err := s.Shutdown(30 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 20*time.Second {
+		t.Errorf("shutdown drain took %v", elapsed)
+	}
+	final := await(t, ts.URL, sr.JobID, 5*time.Second)
+	if final.State != StateCanceled {
+		t.Errorf("job after shutdown: %s (%s), want canceled", final.State, final.Error)
+	}
+	code, body := postJSON(t, ts.URL+"/v1/jobs", hugeSubmit(23, 0))
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: %d (%s), want 503", code, body)
+	}
+}
+
+// TestAdmissionSerializesOnTokens pins the CPU-token contract: with a single
+// token, a second job waits in queued state (never started) while the first
+// runs, and a queued job canceled before admission reports canceled without
+// ever starting.
+func TestAdmissionSerializesOnTokens(t *testing.T) {
+	_, ts := testServer(t, Config{CPUTokens: 1})
+	a := submit(t, ts.URL, hugeSubmit(41, 0))
+	awaitProgress(t, ts.URL, a.JobID, 1000, time.Minute)
+
+	b := submit(t, ts.URL, hugeSubmit(43, 0))
+	// Give b ample opportunity to (wrongly) start while a holds the token.
+	time.Sleep(50 * time.Millisecond)
+	code, body := getBody(t, ts.URL+"/v1/jobs/"+b.JobID)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("job b = %s while a holds the only token, want queued", st.State)
+	}
+	// Cancel the queued job: it aborts at admission, never having run.
+	postJSON(t, ts.URL+"/v1/jobs/"+b.JobID+"/cancel", nil)
+	final := await(t, ts.URL, b.JobID, 10*time.Second)
+	if final.State != StateCanceled || final.StartedAt != nil {
+		t.Errorf("queued-cancel: state=%s started=%v, want canceled and never started", final.State, final.StartedAt)
+	}
+	postJSON(t, ts.URL+"/v1/jobs/"+a.JobID+"/cancel", nil)
+	await(t, ts.URL, a.JobID, 30*time.Second)
+}

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the execution half of the service: a global CPU-token
+// admission controller and a bounded job manager. Every analysis job declares
+// how many exploration workers it will run and must hold that many tokens
+// for the duration of its sweep, so k simultaneous analyses (each itself
+// parallel) never oversubscribe the host: the total number of exploration
+// worker goroutines actually running is capped by the token pool, and excess
+// jobs queue FIFO at admission instead of thrashing the scheduler.
+
+// Job states on the wire.
+const (
+	StateQueued   = "queued"   // admitted, waiting for CPU tokens
+	StateRunning  = "running"  // holding tokens, sweep in progress
+	StateDone     = "done"     // result available
+	StateFailed   = "failed"   // analysis error (DeadlineExceeded included)
+	StateCanceled = "canceled" // canceled by a client or by shutdown
+)
+
+// errDeadlineExceeded names the failure the wire exposes for expired jobs.
+const errDeadlineExceeded = "DeadlineExceeded"
+
+// cpuTokens is the admission controller: a FIFO counting semaphore over the
+// host's CPU budget. Waiters never overtake (head-of-line order), so a wide
+// job cannot starve behind a stream of narrow ones.
+type cpuTokens struct {
+	mu      sync.Mutex
+	total   int
+	avail   int
+	waiters *list.List // of *tokenWait
+}
+
+type tokenWait struct {
+	n       int
+	ready   chan struct{}
+	granted bool
+}
+
+func newCPUTokens(total int) *cpuTokens {
+	if total < 1 {
+		total = 1
+	}
+	return &cpuTokens{total: total, avail: total, waiters: list.New()}
+}
+
+// acquire blocks until n tokens are granted, the cancel channel fires, or
+// the deadline (when nonzero) passes; the abort errors are the core
+// sentinels so queue-time aborts report exactly like sweep-time ones.
+// n must already be clamped to [1, total].
+func (t *cpuTokens) acquire(cancel <-chan struct{}, deadline time.Time, n int) error {
+	t.mu.Lock()
+	if t.waiters.Len() == 0 && t.avail >= n {
+		t.avail -= n
+		t.mu.Unlock()
+		return nil
+	}
+	w := &tokenWait{n: n, ready: make(chan struct{})}
+	el := t.waiters.PushBack(w)
+	t.mu.Unlock()
+
+	var expired <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		expired = timer.C
+	}
+	var aborted error
+	select {
+	case <-w.ready:
+		return nil
+	case <-expired:
+		aborted = core.ErrDeadlineExceeded
+	case <-cancel:
+		aborted = core.ErrCanceled
+		// Mirror core.abortErr's precedence: when the deadline passed too
+		// (both channels ready, select picked randomly), the more specific
+		// expiry wins so the wire state stays deterministic.
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			aborted = core.ErrDeadlineExceeded
+		}
+	}
+	t.mu.Lock()
+	if w.granted {
+		// The grant raced the abort: keep it consistent by returning the
+		// tokens; the caller sees the abort.
+		t.avail += n
+		t.grantLocked()
+	} else {
+		t.waiters.Remove(el)
+		t.grantLocked() // the removed waiter may have been blocking smaller ones
+	}
+	t.mu.Unlock()
+	return aborted
+}
+
+// release returns n tokens and wakes eligible waiters.
+func (t *cpuTokens) release(n int) {
+	t.mu.Lock()
+	t.avail += n
+	t.grantLocked()
+	t.mu.Unlock()
+}
+
+// grantLocked grants waiters FIFO while tokens last.
+func (t *cpuTokens) grantLocked() {
+	for t.waiters.Len() > 0 {
+		w := t.waiters.Front().Value.(*tokenWait)
+		if t.avail < w.n {
+			return
+		}
+		t.avail -= w.n
+		w.granted = true
+		close(w.ready)
+		t.waiters.Remove(t.waiters.Front())
+	}
+}
+
+// inUse reports tokens currently held.
+func (t *cpuTokens) inUse() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - t.avail
+}
+
+// job is one submitted analysis. Its id IS the content key of the normalized
+// submission (sha256 hex), which is what makes the job table double as the
+// result cache: resubmitting identical work lands on the same entry, running
+// or finished.
+type job struct {
+	id        string
+	kind      string // "arch" | "ta"
+	workers   int    // CPU tokens held while running
+	submitted time.Time
+	deadline  time.Time // zero = unbounded
+	mon       *core.Monitor
+
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	started  time.Time
+	finished time.Time
+	result   []byte            // raw wire JSON, valid when state == done
+	traces   map[string]string // captured witness traces, by requirement / query
+	done     chan struct{}     // closed on any terminal state
+}
+
+func newJob(id, kind string, workers int, deadline time.Time) *job {
+	return &job{
+		id: id, kind: kind, workers: workers,
+		submitted: time.Now(), deadline: deadline,
+		mon:      &core.Monitor{},
+		cancelCh: make(chan struct{}),
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+}
+
+// cancel requests cooperative cancellation; safe to call repeatedly and
+// after completion (a terminal job just ignores the closed channel).
+func (j *job) cancel() {
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state, mapping the core abort
+// sentinels onto the wire states: ErrCanceled → canceled, ErrDeadlineExceeded
+// → failed with the DeadlineExceeded error name.
+func (j *job) finish(result []byte, traces map[string]string, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		j.traces = traces
+	case errors.Is(err, core.ErrCanceled):
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = errDeadlineExceeded
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// snapshot reads the job's current state fields consistently.
+func (j *job) snapshot() (state, errMsg string, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.started, j.finished
+}
+
+// terminal reports whether the job reached a final state.
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// jobManager bounds and executes jobs: at most maxActive jobs queued or
+// running (excess submissions are rejected with errBusy), at most
+// maxFinished terminal jobs retained as the result cache (evicted LRU).
+type jobManager struct {
+	tokens *cpuTokens
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	finished    *list.List // of job ids, front = most recently finished/hit
+	finIndex    map[string]*list.Element
+	active      int
+	maxActive   int
+	maxFinished int
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+var (
+	errBusy         = errors.New("serve: job table full, try again later")
+	errShuttingDown = errors.New("serve: server is shutting down")
+)
+
+func newJobManager(tokens *cpuTokens, maxActive, maxFinished int) *jobManager {
+	return &jobManager{
+		tokens:      tokens,
+		jobs:        make(map[string]*job),
+		finished:    list.New(),
+		finIndex:    make(map[string]*list.Element),
+		maxActive:   maxActive,
+		maxFinished: maxFinished,
+	}
+}
+
+// runFunc computes one job's result: the raw wire JSON plus any captured
+// traces. It must honor the job's cancel channel, deadline, and monitor.
+type runFunc func(j *job) ([]byte, map[string]string, error)
+
+// submit returns the job for the given content key, creating and starting it
+// when absent. An existing live or successfully-finished job is shared
+// (created=false — the singleflight/result-cache path); a failed or canceled
+// one is replaced by a fresh attempt.
+func (m *jobManager) submit(id, kind string, workers int, deadline time.Time, run runFunc) (*job, bool, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, false, errShuttingDown
+	}
+	if j := m.jobs[id]; j != nil {
+		state, _, _, _ := j.snapshot()
+		if state == StateFailed || state == StateCanceled {
+			// A fresh attempt replaces the failed one below.
+			m.dropLocked(id)
+		} else {
+			if el := m.finIndex[id]; el != nil {
+				m.finished.MoveToFront(el)
+			}
+			m.mu.Unlock()
+			return j, false, nil
+		}
+	}
+	if m.active >= m.maxActive {
+		m.mu.Unlock()
+		return nil, false, errBusy
+	}
+	j := newJob(id, kind, workers, deadline)
+	m.jobs[id] = j
+	m.active++
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.execute(j, run)
+	return j, true, nil
+}
+
+func (m *jobManager) execute(j *job, run runFunc) {
+	defer m.wg.Done()
+	if err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers); err != nil {
+		j.finish(nil, nil, err)
+		m.onTerminal(j)
+		return
+	}
+	j.setRunning()
+	result, traces, err := run(j)
+	m.tokens.release(j.workers)
+	j.finish(result, traces, err)
+	m.onTerminal(j)
+}
+
+// onTerminal moves the job into the retained-results LRU and evicts beyond
+// the bound. The insert is guarded: between j.finish() and this call a
+// resubmission may have observed the failed/canceled state and replaced the
+// table entry under the same id — inserting the stale job then would orphan
+// a list element (no finIndex entry) and wedge the eviction loop. A replaced
+// job is simply dropped.
+func (m *jobManager) onTerminal(j *job) {
+	m.mu.Lock()
+	m.active--
+	if m.jobs[j.id] == j {
+		m.finIndex[j.id] = m.finished.PushFront(j.id)
+		for m.finished.Len() > m.maxFinished {
+			oldest := m.finished.Back()
+			m.dropLocked(oldest.Value.(string))
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *jobManager) dropLocked(id string) {
+	if el := m.finIndex[id]; el != nil {
+		m.finished.Remove(el)
+		delete(m.finIndex, id)
+	}
+	delete(m.jobs, id)
+}
+
+// get looks a job up by id.
+func (m *jobManager) get(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// counts reports active (queued+running) and retained terminal jobs.
+func (m *jobManager) counts() (active, retained int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active, m.finished.Len()
+}
+
+// close stops intake and cancels every live job.
+func (m *jobManager) close() {
+	m.mu.Lock()
+	m.closed = true
+	live := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		live = append(live, j)
+	}
+	m.mu.Unlock()
+	for _, j := range live {
+		j.cancel()
+	}
+}
+
+// wait blocks until every job goroutine has drained or the timeout passes.
+func (m *jobManager) wait(timeout time.Duration) error {
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return errors.New("serve: jobs did not drain before the shutdown timeout")
+	}
+}

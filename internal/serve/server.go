@@ -1,0 +1,832 @@
+// Package serve exposes the whole analysis stack — ta parse/validate,
+// arch compilation, the core multi-query engine — as a concurrent HTTP JSON
+// service (command taserved). The design centers on three ideas:
+//
+//   - Content addressing: a submission is normalized (defaults applied,
+//     requirement sets resolved) and hashed; the hash is the job id AND the
+//     result-cache key. Identical submissions — concurrent or repeated —
+//     share one job, one compilation, one exploration, and receive
+//     bit-identical response bytes.
+//   - Layered singleflight caches: parsed models by source hash, compiled
+//     networks by (model, requirement-set, horizon) hash, results by the full
+//     submission hash. A thundering herd of identical requests costs exactly
+//     one parse, one compile, one sweep.
+//   - Bounded concurrency: a global CPU-token pool admits jobs FIFO; a job
+//     holds as many tokens as it runs exploration workers, so simultaneous
+//     analyses never oversubscribe the host. Cancellation and wall-clock
+//     deadlines thread through core.Options into the worker loop, so a
+//     canceled or expired job stops promptly and reports partial progress.
+//
+// Verdicts are computed by exactly the code paths the CLIs use
+// (arch.CompileAll + CompiledSet.Analyze, wire.TARun) and encoded by the
+// shared internal/wire package, so service results are bit-identical to
+// archcheck/tacheck -json output for the same model and options.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/ta"
+	"repro/internal/wire"
+)
+
+// Config tunes one Server. Zero values select the documented defaults.
+type Config struct {
+	// CPUTokens is the global admission budget: the maximum number of
+	// exploration workers running at once across all jobs. Default: NumCPU.
+	CPUTokens int
+	// MaxActiveJobs bounds jobs queued or running; submissions beyond it are
+	// rejected with 429. Default 64.
+	MaxActiveJobs int
+	// MaxFinishedJobs bounds terminal jobs retained as the result cache
+	// (LRU). Default 256.
+	MaxFinishedJobs int
+	// MaxModels / MaxCompiled bound the parsed-model and compiled-network
+	// caches (LRU). Defaults 128 / 128.
+	MaxModels   int
+	MaxCompiled int
+	// DefaultDeadline bounds each job's wall clock when the submission does
+	// not set deadline_ms. Zero = unbounded.
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPUTokens <= 0 {
+		c.CPUTokens = runtime.NumCPU()
+	}
+	if c.MaxActiveJobs <= 0 {
+		c.MaxActiveJobs = 64
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 256
+	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 128
+	}
+	if c.MaxCompiled <= 0 {
+		c.MaxCompiled = 128
+	}
+	return c
+}
+
+// modelEntry is one parsed model; exactly one of the arch pair and net is
+// set. Immutable after parse — shared by every job that hashes to it.
+type modelEntry struct {
+	sys  *arch.System
+	reqs []*arch.Requirement
+	net  *ta.Network
+}
+
+// Server is the analysis service. Create with New, mount Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg      Config
+	start    time.Time
+	tokens   *cpuTokens
+	jobs     *jobManager
+	models   *flightCache[*modelEntry]
+	compiled *flightCache[*arch.CompiledSet]
+
+	submissions  atomic.Int64
+	dedupLive    atomic.Int64 // submissions that joined a queued/running job
+	resultHits   atomic.Int64 // submissions answered by a finished job
+	explorations atomic.Int64 // sweeps actually run
+	canceled     atomic.Int64
+	expired      atomic.Int64
+}
+
+// New returns a ready server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	tokens := newCPUTokens(cfg.CPUTokens)
+	return &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		tokens:   tokens,
+		jobs:     newJobManager(tokens, cfg.MaxActiveJobs, cfg.MaxFinishedJobs),
+		models:   newFlightCache[*modelEntry](cfg.MaxModels),
+		compiled: newFlightCache[*arch.CompiledSet](cfg.MaxCompiled),
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs             submit an analysis; returns the job id
+//	GET  /v1/jobs/{id}        status + live progress
+//	GET  /v1/jobs/{id}/result the wire result (done jobs only)
+//	GET  /v1/jobs/{id}/trace  captured witness traces
+//	POST /v1/jobs/{id}/cancel cooperative cancellation
+//	GET  /healthz             liveness + counts
+//	GET  /metrics             Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown stops intake, cancels every live job through the same cooperative
+// mechanism the cancel endpoint uses, and waits (bounded) for job goroutines
+// to drain. The HTTP listener is the caller's to close (http.Server.Shutdown
+// first, then this).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.jobs.close()
+	return s.jobs.wait(timeout)
+}
+
+// Counters is a point-in-time view of the server's work, exposed for tests
+// and /metrics.
+type Counters struct {
+	Submissions   int64
+	DedupedLive   int64
+	ResultHits    int64
+	Explorations  int64
+	Canceled      int64
+	Expired       int64
+	ModelHits     int64
+	ModelMisses   int64
+	CompileHits   int64
+	CompileMisses int64
+}
+
+// Stats samples the server counters.
+func (s *Server) Stats() Counters {
+	mh, mm := s.models.stats()
+	ch, cm := s.compiled.stats()
+	return Counters{
+		Submissions:   s.submissions.Load(),
+		DedupedLive:   s.dedupLive.Load(),
+		ResultHits:    s.resultHits.Load(),
+		Explorations:  s.explorations.Load(),
+		Canceled:      s.canceled.Load(),
+		Expired:       s.expired.Load(),
+		ModelHits:     mh,
+		ModelMisses:   mm,
+		CompileHits:   ch,
+		CompileMisses: cm,
+	}
+}
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Kind selects the model format: "arch" (JSON architecture description,
+	// the archcheck input) or "ta" (textual timed-automata network, the
+	// tacheck input).
+	Kind string `json:"kind"`
+	// Model is the model source, verbatim.
+	Model string `json:"model"`
+	// Requirements optionally restricts an arch analysis to the named
+	// requirements, in the given order; empty means all, file order.
+	Requirements []string `json:"requirements,omitempty"`
+	// Queries lists the questions of a ta analysis; all of them ride one
+	// exploration.
+	Queries []wire.TAQuery `json:"queries,omitempty"`
+	Options SubmitOptions  `json:"options"`
+}
+
+// SubmitOptions tunes one submission. Every field participates in the
+// content key: two submissions share a job (and its cached result) exactly
+// when their normalized forms coincide.
+type SubmitOptions struct {
+	// HorizonMS is the arch observation horizon (default 2000).
+	HorizonMS int64 `json:"horizon_ms,omitempty"`
+	// HorizonMSByReq overrides the horizon per requirement.
+	HorizonMSByReq map[string]int64 `json:"horizon_ms_by_req,omitempty"`
+	// QueueCap bounds the arch pending-event counters (default 8).
+	QueueCap int64 `json:"queue_cap,omitempty"`
+	// Workers is the exploration parallelism of this job — also the number
+	// of CPU tokens it holds while running. Clamped to [1, CPUTokens].
+	// Default 1 (service throughput comes from concurrent jobs).
+	Workers int `json:"workers,omitempty"`
+	// MaxStates truncates the exploration (0 = exhaustive).
+	MaxStates int `json:"max_states,omitempty"`
+	// Order is the search order: bfs (default), df, rdf.
+	Order string `json:"order,omitempty"`
+	// Seed feeds rdf shuffling.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxConst is the extrapolation horizon for ta sup queries.
+	MaxConst int64 `json:"max_const,omitempty"`
+	// DeadlineMS bounds the job's wall clock from submission (admission wait
+	// included); 0 selects the server default. An expired job fails with
+	// error "DeadlineExceeded".
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Witness additionally captures a critical-instant trace per requirement
+	// (arch only; extra explorations) for GET …/trace.
+	Witness bool `json:"witness,omitempty"`
+}
+
+// SubmitResponse is the body answering POST /v1/jobs.
+type SubmitResponse struct {
+	JobID string `json:"job_id"`
+	// State is the job state at response time; "done" means the result is
+	// already available (result-cache hit).
+	State string `json:"state"`
+	// Created reports whether this submission started a new analysis; false
+	// means it joined a live twin or hit a finished result.
+	Created bool `json:"created"`
+}
+
+// StatusResponse is the body answering GET /v1/jobs/{id}.
+type StatusResponse struct {
+	JobID       string       `json:"job_id"`
+	Kind        string       `json:"kind"`
+	State       string       `json:"state"`
+	Error       string       `json:"error,omitempty"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   *time.Time   `json:"started_at,omitempty"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	Progress    ProgressBody `json:"progress"`
+}
+
+// ProgressBody is the live view of a running exploration, sampled from the
+// engine's per-worker counters.
+type ProgressBody struct {
+	Stored      int64 `json:"stored"`
+	Popped      int64 `json:"popped"`
+	Transitions int64 `json:"transitions"`
+	Deadlocks   int64 `json:"deadlocks"`
+	Frontier    int64 `json:"frontier"`
+	Workers     int   `json:"workers"`
+	Running     bool  `json:"running"`
+}
+
+// jobSpec is the normalized submission — the hashed content. Field order and
+// deterministic map encoding (Go sorts map keys) make the canonical JSON
+// stable.
+type jobSpec struct {
+	Kind           string           `json:"kind"`
+	ModelHash      string           `json:"model_hash"`
+	Requirements   []string         `json:"requirements,omitempty"`
+	Queries        []wire.TAQuery   `json:"queries,omitempty"`
+	HorizonMS      int64            `json:"horizon_ms"`
+	HorizonMSByReq map[string]int64 `json:"horizon_ms_by_req,omitempty"`
+	QueueCap       int64            `json:"queue_cap"`
+	Workers        int              `json:"workers"`
+	MaxStates      int              `json:"max_states"`
+	Order          string           `json:"order"`
+	Seed           int64            `json:"seed"`
+	MaxConst       int64            `json:"max_const,omitempty"`
+	DeadlineMS     int64            `json:"deadline_ms"`
+	Witness        bool             `json:"witness,omitempty"`
+}
+
+// encodeWire renders a wire value exactly as the CLIs' -json encoders do
+// (two-space indent, trailing newline, json.Encoder escaping), keeping the
+// byte-identity contract literal: diffing `archcheck -json`/`tacheck -json`
+// output against a served result body succeeds.
+func encodeWire(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func hashBytes(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxBodyBytes bounds submissions; model sources are text, 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.submissions.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, badRequest("reading body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, &httpError{status: http.StatusRequestEntityTooLarge, msg: "model too large"})
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	spec, model, herr := s.normalize(&req)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id := hashBytes(string(canon))
+
+	deadline := time.Time{}
+	if spec.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	} else if s.cfg.DefaultDeadline > 0 {
+		deadline = time.Now().Add(s.cfg.DefaultDeadline)
+	}
+
+	run := s.runFunc(spec, model)
+	j, created, err := s.jobs.submit(id, spec.Kind, spec.Workers, deadline, run)
+	switch err {
+	case nil:
+	case errBusy:
+		writeError(w, &httpError{status: http.StatusTooManyRequests, msg: err.Error()})
+		return
+	case errShuttingDown:
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()})
+		return
+	default:
+		writeError(w, err)
+		return
+	}
+	state, _, _, _ := j.snapshot()
+	if !created {
+		if state == StateDone {
+			s.resultHits.Add(1)
+		} else {
+			s.dedupLive.Add(1)
+		}
+	}
+	status := http.StatusAccepted
+	if state == StateDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{JobID: j.id, State: state, Created: created})
+}
+
+// normalize validates the submission, resolves the model through the parsed
+// cache, applies defaults, and returns the canonical spec. The parsed entry
+// is returned alongside so the job closure does not re-hash.
+func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError) {
+	var spec jobSpec
+	if req.Model == "" {
+		return spec, nil, badRequest("model is required")
+	}
+	switch req.Options.Order {
+	case "":
+		req.Options.Order = "bfs"
+	case "bfs", "df", "rdf":
+	default:
+		return spec, nil, badRequest("unknown order %q (want bfs, df, or rdf)", req.Options.Order)
+	}
+	workers := req.Options.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.cfg.CPUTokens {
+		workers = s.cfg.CPUTokens
+	}
+	if req.Options.HorizonMS == 0 {
+		req.Options.HorizonMS = 2000
+	}
+	if req.Options.QueueCap == 0 {
+		req.Options.QueueCap = 8
+	}
+	spec = jobSpec{
+		Kind:       req.Kind,
+		HorizonMS:  req.Options.HorizonMS,
+		QueueCap:   req.Options.QueueCap,
+		Workers:    workers,
+		MaxStates:  req.Options.MaxStates,
+		Order:      req.Options.Order,
+		Seed:       req.Options.Seed,
+		DeadlineMS: req.Options.DeadlineMS,
+		Witness:    req.Options.Witness && req.Kind == "arch",
+	}
+	// Canonicalize away fields that cannot affect this submission's answer,
+	// so semantically identical requests hash to one job: the seed only
+	// feeds rdf shuffling, witness traces exist for arch jobs only, and the
+	// compilation options (horizon, queue cap) are meaningless for ta
+	// models.
+	if spec.Order != "rdf" {
+		spec.Seed = 0
+	}
+	if req.Kind == "ta" {
+		spec.HorizonMS = 0
+		spec.QueueCap = 0
+	}
+
+	switch req.Kind {
+	case "arch":
+		spec.ModelHash = hashBytes("arch", req.Model)
+		entry, _, err := s.models.do(spec.ModelHash, func() (*modelEntry, error) {
+			sys, reqs, err := arch.ParseSystem([]byte(req.Model))
+			if err != nil {
+				return nil, err
+			}
+			return &modelEntry{sys: sys, reqs: reqs}, nil
+		})
+		if err != nil {
+			return spec, nil, badRequest("parsing arch model: %v", err)
+		}
+		names := req.Requirements
+		if len(names) == 0 {
+			for _, r := range entry.reqs {
+				names = append(names, r.Name)
+			}
+		}
+		if len(names) == 0 {
+			return spec, nil, badRequest("arch model has no requirements")
+		}
+		byName := map[string]*arch.Requirement{}
+		for _, r := range entry.reqs {
+			byName[r.Name] = r
+		}
+		for _, n := range names {
+			if byName[n] == nil {
+				return spec, nil, badRequest("unknown requirement %q", n)
+			}
+		}
+		for n := range req.Options.HorizonMSByReq {
+			if byName[n] == nil {
+				return spec, nil, badRequest("horizon_ms_by_req names unknown requirement %q", n)
+			}
+		}
+		spec.Requirements = names
+		spec.HorizonMSByReq = req.Options.HorizonMSByReq
+		return spec, entry, nil
+	case "ta":
+		if len(req.Queries) == 0 {
+			return spec, nil, badRequest("ta submissions need at least one query")
+		}
+		// Canonicalize each query to the fields its kind consumes — a stray
+		// pred on a deadlock query (or clock on a reach) must not mint a
+		// distinct job for the same question.
+		spec.Queries = make([]wire.TAQuery, len(req.Queries))
+		for i, q := range req.Queries {
+			switch q.Kind {
+			case "deadlock":
+				q.Pred, q.Clock = "", ""
+			case "reach", "safety":
+				q.Clock = ""
+			}
+			spec.Queries[i] = q
+		}
+		spec.MaxConst = req.Options.MaxConst
+		// The parse depends on the sup horizons, so the model-cache key
+		// carries the query-relevant context: sup clocks + max_const. With
+		// no sup query the horizon is inert — canonicalize it away too.
+		supKey := ""
+		for _, q := range spec.Queries {
+			if q.Kind == "sup" {
+				supKey += q.Clock + "\x00"
+			}
+		}
+		if supKey == "" {
+			spec.MaxConst = 0
+		}
+		spec.ModelHash = hashBytes("ta", req.Model, supKey, fmt.Sprint(spec.MaxConst))
+		entry, _, err := s.models.do(spec.ModelHash, func() (*modelEntry, error) {
+			net, err := wire.ParseTAModel(req.Model, spec.Queries, spec.MaxConst)
+			if err != nil {
+				return nil, err
+			}
+			return &modelEntry{net: net}, nil
+		})
+		if err != nil {
+			return spec, nil, badRequest("parsing ta model: %v", err)
+		}
+		// Validate the query specs now so submit fails fast; the job builds
+		// its own fresh TARun (queries are single-use).
+		if _, err := wire.NewTARun(entry.net, spec.Queries); err != nil {
+			return spec, nil, badRequest("building queries: %v", err)
+		}
+		return spec, entry, nil
+	default:
+		return spec, nil, badRequest("unknown kind %q (want arch or ta)", req.Kind)
+	}
+}
+
+// coreOptions maps the normalized spec plus the job's runtime signals onto
+// the engine options.
+func coreOptions(spec jobSpec, j *job) core.Options {
+	opts := core.Options{
+		Seed:      spec.Seed,
+		MaxStates: spec.MaxStates,
+		Workers:   spec.Workers,
+		Cancel:    j.cancelCh,
+		Deadline:  j.deadline,
+		Monitor:   j.mon,
+	}
+	switch spec.Order {
+	case "df":
+		opts.Order = core.DFS
+	case "rdf":
+		opts.Order = core.RDFS
+	}
+	return opts
+}
+
+// runFunc builds the job closure: compile (through the cache) and run the
+// single exploration answering the whole submission.
+func (s *Server) runFunc(spec jobSpec, model *modelEntry) runFunc {
+	if spec.Kind == "arch" {
+		return func(j *job) ([]byte, map[string]string, error) {
+			return s.runArch(spec, model, j)
+		}
+	}
+	return func(j *job) ([]byte, map[string]string, error) {
+		return s.runTA(spec, model, j)
+	}
+}
+
+func (s *Server) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
+	byName := map[string]*arch.Requirement{}
+	for _, r := range model.reqs {
+		byName[r.Name] = r
+	}
+	reqs := make([]*arch.Requirement, len(spec.Requirements))
+	for i, n := range spec.Requirements {
+		reqs[i] = byName[n]
+	}
+	copts := arch.Options{HorizonMS: spec.HorizonMS, QueueCap: spec.QueueCap}
+	if len(spec.HorizonMSByReq) > 0 {
+		byReq := spec.HorizonMSByReq
+		copts.HorizonMSFor = func(r *arch.Requirement) int64 { return byReq[r.Name] }
+	}
+
+	// Compile cache: (model, requirement set, compile options). Every key
+	// ingredient is its own NUL-separated hash part (and the horizon map is
+	// JSON-encoded, which sorts its keys), so requirement names containing
+	// separator-looking characters cannot collide two different sets onto
+	// one compiled network. The set is immutable and shared; every job
+	// explores it with fresh state.
+	horizonsJSON, err := json.Marshal(spec.HorizonMSByReq)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts := append([]string{"compile", spec.ModelHash,
+		fmt.Sprint(spec.HorizonMS), fmt.Sprint(spec.QueueCap), string(horizonsJSON)},
+		spec.Requirements...)
+	ckey := hashBytes(parts...)
+	cs, _, err := s.compiled.do(ckey, func() (*arch.CompiledSet, error) {
+		return arch.CompileAll(model.sys, reqs, copts)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s.explorations.Add(1)
+	all, err := cs.Analyze(coreOptions(spec, j))
+	if err != nil {
+		s.noteAbort(err)
+		return nil, nil, err
+	}
+	resp := wire.FromAllResult(all)
+	data, err := encodeWire(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var traces map[string]string
+	if spec.Witness {
+		// Witness traces reuse the batch verdicts (no re-measurement): one
+		// reachability sweep per requirement, counted like any other
+		// exploration. The sweeps honor the job's cancel/deadline but not
+		// its Monitor — final status progress keeps mirroring the main
+		// sweep's stats, not the last witness run's.
+		wopts := coreOptions(spec, j)
+		wopts.Monitor = nil
+		traces = make(map[string]string, len(reqs))
+		for i, r := range reqs {
+			s.explorations.Add(1)
+			trace, werr := arch.WitnessForResult(model.sys, r, all.Results[i], copts, wopts)
+			switch {
+			case werr == nil:
+				traces[r.Name] = trace
+			case errors.Is(werr, core.ErrCanceled) || errors.Is(werr, core.ErrDeadlineExceeded):
+				// The job itself was aborted: fail it as usual.
+				s.noteAbort(werr)
+				return nil, nil, werr
+			default:
+				// The verdicts are computed and valid; an unmaterializable
+				// optional trace (e.g. a truncated witness search) must not
+				// discard them. Surface the reason in the trace slot.
+				traces[r.Name] = "witness unavailable: " + werr.Error()
+			}
+		}
+	}
+	return data, traces, nil
+}
+
+func (s *Server) runTA(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
+	run, err := wire.NewTARun(model.net, spec.Queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	checker, err := core.NewChecker(model.net)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.explorations.Add(1)
+	stats, err := checker.RunQueries(coreOptions(spec, j), run.Queries()...)
+	if err != nil {
+		s.noteAbort(err)
+		return nil, nil, err
+	}
+	resp := run.Response(stats)
+	data, err := encodeWire(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	traces := make(map[string]string)
+	for i, q := range resp.Queries {
+		if q.Trace != "" {
+			traces[fmt.Sprintf("q%d:%s", i, q.Kind)] = q.Trace
+		}
+	}
+	return data, traces, nil
+}
+
+func (s *Server) noteAbort(err error) {
+	switch {
+	case errors.Is(err, core.ErrCanceled):
+		s.canceled.Add(1)
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		s.expired.Add(1)
+	}
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *job {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: "unknown job"})
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, errMsg, started, finished := j.snapshot()
+	p := j.mon.Snapshot()
+	resp := StatusResponse{
+		JobID:       j.id,
+		Kind:        j.kind,
+		State:       state,
+		Error:       errMsg,
+		SubmittedAt: j.submitted,
+		Progress: ProgressBody{
+			Stored:      p.Stored,
+			Popped:      p.Popped,
+			Transitions: p.Transitions,
+			Deadlocks:   p.Deadlocks,
+			Frontier:    p.Frontier,
+			Workers:     p.Workers,
+			Running:     p.Running,
+		},
+	}
+	if !started.IsZero() {
+		resp.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		resp.FinishedAt = &finished
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, errMsg, _, _ := j.snapshot()
+	if state != StateDone {
+		status := http.StatusConflict
+		body := map[string]string{"state": state}
+		if errMsg != "" {
+			body["error"] = errMsg
+		}
+		writeJSON(w, status, body)
+		return
+	}
+	j.mu.Lock()
+	data := j.result
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, _, _, _ := j.snapshot()
+	if state != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]string{"state": state})
+		return
+	}
+	j.mu.Lock()
+	traces := j.traces
+	j.mu.Unlock()
+	if len(traces) == 0 {
+		writeError(w, &httpError{status: http.StatusNotFound,
+			msg: "no traces captured (arch jobs record them when submitted with options.witness)"})
+		return
+	}
+	if req := r.URL.Query().Get("req"); req != "" {
+		t, ok := traces[req]
+		if !ok {
+			writeError(w, &httpError{status: http.StatusNotFound, msg: "no trace for " + req})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{req: t})
+		return
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	state, errMsg, _, _ := j.snapshot()
+	writeJSON(w, http.StatusOK, map[string]string{"job_id": j.id, "state": state, "error": errMsg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	active, retained := s.jobs.counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            true,
+		"uptime_s":      int64(time.Since(s.start).Seconds()),
+		"active_jobs":   active,
+		"retained_jobs": retained,
+		"cpu_tokens":    s.cfg.CPUTokens,
+		"tokens_in_use": s.tokens.inUse(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c := s.Stats()
+	active, retained := s.jobs.counts()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "taserved_submissions_total %d\n", c.Submissions)
+	fmt.Fprintf(w, "taserved_jobs_deduped_total %d\n", c.DedupedLive)
+	fmt.Fprintf(w, "taserved_result_cache_hits_total %d\n", c.ResultHits)
+	fmt.Fprintf(w, "taserved_explorations_total %d\n", c.Explorations)
+	fmt.Fprintf(w, "taserved_jobs_canceled_total %d\n", c.Canceled)
+	fmt.Fprintf(w, "taserved_jobs_deadline_exceeded_total %d\n", c.Expired)
+	fmt.Fprintf(w, "taserved_model_cache_hits_total %d\n", c.ModelHits)
+	fmt.Fprintf(w, "taserved_model_cache_misses_total %d\n", c.ModelMisses)
+	fmt.Fprintf(w, "taserved_model_cache_entries %d\n", s.models.len())
+	fmt.Fprintf(w, "taserved_compile_cache_hits_total %d\n", c.CompileHits)
+	fmt.Fprintf(w, "taserved_compile_cache_misses_total %d\n", c.CompileMisses)
+	fmt.Fprintf(w, "taserved_compile_cache_entries %d\n", s.compiled.len())
+	fmt.Fprintf(w, "taserved_jobs_active %d\n", active)
+	fmt.Fprintf(w, "taserved_jobs_retained %d\n", retained)
+	fmt.Fprintf(w, "taserved_cpu_tokens_total %d\n", s.cfg.CPUTokens)
+	fmt.Fprintf(w, "taserved_cpu_tokens_in_use %d\n", s.tokens.inUse())
+}
