@@ -107,6 +107,29 @@ func BenchmarkTable1_AddressLookup_bur(b *testing.B) {
 	benchCell(b, icrns.Table1Rows[4], icrns.ColBUR, 120_000)
 }
 
+// BenchmarkTable1_HandleTMC_AL_po_Budgeted is the budgeted twin of the
+// HandleTMC_AL_po cell: the same exhaustive sweep under a zone-memory budget
+// far too high to ever trip. Its CI baseline (scripts/bench_baseline.json)
+// sits a fixed handful of allocs/op above the unbudgeted twin — the one-time
+// per-run budget cells — pinning the accounting itself to zero allocations
+// on the per-state hot path.
+func BenchmarkTable1_HandleTMC_AL_po_Budgeted(b *testing.B) {
+	b.ReportAllocs()
+	row := icrns.Table1Rows[1]
+	opts := icrns.CellOptions{Cfg: icrns.DefaultConfig(), Seed: 1, MaxBytes: 1 << 40}
+	var res arch.WCRTResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = icrns.Cell(row, icrns.ColPO, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ms, _ := res.MS.Float64()
+	b.ReportMetric(ms, "wcrt_ms")
+	b.ReportMetric(float64(res.Stats.Stored), "states")
+}
+
 // --- Table 2: tool comparison on the AddressLookup and HandleTMC rows ---
 
 func table2System() (*arch.System, *arch.Requirement) {

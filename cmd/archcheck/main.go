@@ -43,22 +43,24 @@ import (
 
 func main() {
 	var (
-		modelPath  = flag.String("model", "", "path to the JSON system description")
-		reqName    = flag.String("req", "", "requirement to analyze (default: all)")
-		engine     = flag.String("engine", "uppaal", "analysis engine: uppaal, sim, symta, rtc")
-		horizon    = flag.Int64("horizon", 2000, "observation horizon in ms (uppaal engine)")
-		order      = flag.String("order", "bfs", "search order: bfs, df, rdf (uppaal engine)")
-		maxStates  = flag.Int("max-states", 0, "state budget, 0 = exhaustive (uppaal engine)")
-		seed       = flag.Int64("seed", 1, "random seed (rdf order, sim engine)")
-		simReps    = flag.Int("sim-reps", 20, "simulation replications (sim engine)")
-		simHorizon = flag.Int64("sim-horizon", 60000, "simulated ms per replication (sim engine)")
-		dot        = flag.Bool("dot", false, "print the compiled timed-automata network as Graphviz DOT and exit")
-		uppaal     = flag.Bool("uppaal", false, "print the compiled network as UPPAAL 4.x XML and exit")
-		deploy     = flag.Bool("deploy", false, "print the deployment diagram (Figure 1 style) as Graphviz DOT and exit")
-		workers    = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers, 1 = sequential (uppaal engine)")
-		deadlock   = flag.Bool("deadlock", false, "check the compiled system for deadlocks instead of computing WCRTs")
-		all        = flag.Bool("all", true, "answer all requirements from one compiled network and one exploration (uppaal engine)")
-		jsonOut    = flag.Bool("json", false, "emit the result as JSON (the taserved wire format; uppaal WCRT analysis only)")
+		modelPath   = flag.String("model", "", "path to the JSON system description")
+		reqName     = flag.String("req", "", "requirement to analyze (default: all)")
+		engine      = flag.String("engine", "uppaal", "analysis engine: uppaal, sim, symta, rtc")
+		horizon     = flag.Int64("horizon", 2000, "observation horizon in ms (uppaal engine)")
+		order       = flag.String("order", "bfs", "search order: bfs, df, rdf (uppaal engine)")
+		maxStates   = flag.Int("max-states", 0, "soft state cap: exploration truncates past it, 0 = exhaustive (uppaal engine)")
+		stateBudget = flag.Int("state-budget", 0, "hard state budget: exceeding it fails the run, 0 = unbounded (uppaal engine)")
+		maxBytes    = flag.Int64("max-bytes", 0, "zone-memory budget in bytes: exceeding it fails the run, 0 = unbounded (uppaal engine)")
+		seed        = flag.Int64("seed", 1, "random seed (rdf order, sim engine)")
+		simReps     = flag.Int("sim-reps", 20, "simulation replications (sim engine)")
+		simHorizon  = flag.Int64("sim-horizon", 60000, "simulated ms per replication (sim engine)")
+		dot         = flag.Bool("dot", false, "print the compiled timed-automata network as Graphviz DOT and exit")
+		uppaal      = flag.Bool("uppaal", false, "print the compiled network as UPPAAL 4.x XML and exit")
+		deploy      = flag.Bool("deploy", false, "print the deployment diagram (Figure 1 style) as Graphviz DOT and exit")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers, 1 = sequential (uppaal engine)")
+		deadlock    = flag.Bool("deadlock", false, "check the compiled system for deadlocks instead of computing WCRTs")
+		all         = flag.Bool("all", true, "answer all requirements from one compiled network and one exploration (uppaal engine)")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON (the taserved wire format; uppaal WCRT analysis only)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -118,7 +120,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown order %q", *order))
 	}
-	copts := core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates, Workers: *workers}
+	copts := core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates,
+		StateBudget: *stateBudget, MaxBytes: *maxBytes, Workers: *workers}
 
 	if *jsonOut {
 		if *engine != "uppaal" || *deadlock {

@@ -36,6 +36,7 @@ func main() {
 		table      = flag.Int("table", 1, "table to regenerate: 1 or 2")
 		budget     = flag.Int("budget", 2_000_000, "state budget per exhaustive exploration")
 		fallback   = flag.Int("fallback", 3_000_000, "state budget for the rdf lower-bound fallback")
+		maxBytes   = flag.Int64("max-bytes", 0, "zone-memory budget in bytes per exploration: exceeding it fails the cell (0 = unbounded)")
 		config     = flag.String("config", "default", "scheduling config: default, realistic-bus")
 		cellSpec   = flag.String("cell", "", "single cell \"<req>,<col>\" (e.g. \"K2A,po\")")
 		witness    = flag.Bool("witness", false, "with -cell: print a critical-instant trace realizing the WCRT")
@@ -59,7 +60,7 @@ func main() {
 	}
 	cellOpts := icrns.CellOptions{
 		Cfg: cfg, MaxStates: *budget, FallbackStates: *fallback, Seed: *seed,
-		Workers: *workers,
+		Workers: *workers, MaxBytes: *maxBytes,
 	}
 
 	if *verify != "" {

@@ -40,19 +40,21 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "", "path to the .ta model")
-		reach     = flag.String("reach", "", "reachability predicate")
-		safety    = flag.String("safety", "", "invariant predicate (AG)")
-		sup       = flag.String("sup", "", "clock supremum query: \"clock @ predicate\"")
-		deadlock  = flag.Bool("deadlock", false, "check deadlock freedom")
-		dot       = flag.Bool("dot", false, "print the network as Graphviz DOT")
-		uppaal    = flag.Bool("uppaal", false, "print the network as UPPAAL 4.x XML")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the taserved wire format)")
-		order     = flag.String("order", "bfs", "search order: bfs, df, rdf")
-		seed      = flag.Int64("seed", 1, "seed for rdf search")
-		maxStates = flag.Int("max-states", 0, "state budget, 0 = exhaustive")
-		maxConst  = flag.Int64("max-const", 0, "extrapolation horizon for the sup clock")
-		workers   = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers (1 = sequential)")
+		modelPath   = flag.String("model", "", "path to the .ta model")
+		reach       = flag.String("reach", "", "reachability predicate")
+		safety      = flag.String("safety", "", "invariant predicate (AG)")
+		sup         = flag.String("sup", "", "clock supremum query: \"clock @ predicate\"")
+		deadlock    = flag.Bool("deadlock", false, "check deadlock freedom")
+		dot         = flag.Bool("dot", false, "print the network as Graphviz DOT")
+		uppaal      = flag.Bool("uppaal", false, "print the network as UPPAAL 4.x XML")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON (the taserved wire format)")
+		order       = flag.String("order", "bfs", "search order: bfs, df, rdf")
+		seed        = flag.Int64("seed", 1, "seed for rdf search")
+		maxStates   = flag.Int("max-states", 0, "soft state cap: exploration truncates past it, 0 = exhaustive")
+		stateBudget = flag.Int("state-budget", 0, "hard state budget: exceeding it fails the run (0 = unbounded)")
+		maxBytes    = flag.Int64("max-bytes", 0, "zone-memory budget in bytes: exceeding it fails the run (0 = unbounded)")
+		maxConst    = flag.Int64("max-const", 0, "extrapolation horizon for the sup clock")
+		workers     = flag.Int("workers", runtime.NumCPU(), "parallel exploration workers (1 = sequential)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -78,6 +80,8 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.MaxStates = *maxStates
+	opts.StateBudget = *stateBudget
+	opts.MaxBytes = *maxBytes
 	// Routing between the sequential and parallel frontier happens inside
 	// core (Options.parallelism): every query kind honors Workers, and
 	// parallel runs reconstruct traces from per-worker parent logs.

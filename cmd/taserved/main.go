@@ -42,6 +42,7 @@ func main() {
 		keepJobs    = flag.Int("keep-jobs", 256, "finished jobs retained as the result cache (LRU)")
 		deadlineMS  = flag.Int64("deadline-ms", 0, "default per-job wall-clock budget in ms (0 = unbounded)")
 		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
+		memBudget   = flag.Int64("memory-budget", 0, "global zone-memory budget in bytes; jobs hold a slice of it while running and fail alone past their grant (0 = unmetered)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		MaxActiveJobs:   *maxJobs,
 		MaxFinishedJobs: *keepJobs,
 		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+		MemoryBudget:    *memBudget,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dbm"
+)
+
+// This file is the resource-budget substrate of the unified explorer: hard
+// state and memory ceilings that turn a runaway sweep into a partial result
+// instead of an OOM kill. Both budgets surface through the same cooperative
+// abort point as cancellation (the between-expansions checkpoint in
+// explorer.run), so a budget breach honors every ownership invariant a cancel
+// does: workers stop between expansions, partial Stats are returned, and the
+// checker stays reusable.
+//
+// Accounting follows the engine's per-worker single-writer style — no new
+// atomics on the visitor path:
+//
+//   - States are counted at admission by the existing e.stored counter; the
+//     state budget is one extra compare on the admission path.
+//   - Zone bytes are known at pool get/put: every matrix in the run — worker
+//     scratch, admitted states, store copies — is drawn from some worker's
+//     dbm.Pool, whose gets/reuses counters already record how many matrices
+//     it allocated (gets − reuses). At each checkpoint a worker publishes its
+//     own pool's allocation into its cache-line-padded cell (a plain store,
+//     single writer) and sums all cells against the limit. The cells are
+//     allocated only when a memory budget is configured, so unbudgeted runs
+//     pay nothing — not even the allocation.
+
+// ErrStateBudget reports an exploration stopped because Options.StateBudget
+// unique states had been admitted. The accompanying Stats are the partial
+// effort up to the abort; the Checker remains reusable. Unlike MaxStates
+// (soft truncation: Stats.Truncated, no error), a state budget is a hard
+// failure for callers that must not trust partial verdicts.
+var ErrStateBudget = errors.New("core: exploration state budget exceeded")
+
+// ErrMemoryBudget reports an exploration stopped because its zone memory
+// exceeded Options.MaxBytes. The accompanying Stats are the partial effort up
+// to the abort; the Checker remains reusable.
+var ErrMemoryBudget = errors.New("core: exploration memory budget exceeded")
+
+// PanicError is the per-run error a contained worker crash converts into: the
+// run fails like a canceled one (partial Stats, reusable Checker) instead of
+// taking the process down. The panicked worker abandons its succCtx — and
+// with it every zone and state it owned — to the run's pools; nothing
+// possibly-corrupt is ever recycled into a later run.
+type PanicError struct {
+	// Worker is the index of the crashed worker.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the crashed goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("core: worker %d panicked: %v", p.Worker, p.Value)
+}
+
+// budgetCell is one worker's published zone-allocation bytes, padded so
+// neighboring workers' stores never share a cache line.
+type budgetCell struct {
+	bytes atomic.Int64
+	_     [56]byte
+}
+
+// memBudget accounts a run's zone memory against Options.MaxBytes.
+type memBudget struct {
+	limit int64
+	// zoneBytes is the size of one pooled matrix (dim² bounds).
+	zoneBytes int64
+	// base charges the allocations made before workers start: the initial
+	// state's zone and its store copy (drawn from the init pool).
+	base  int64
+	cells []budgetCell
+}
+
+func newMemBudget(limit int64, dim, workers int) *memBudget {
+	zb := dbm.ZoneBytes(dim)
+	return &memBudget{
+		limit:     limit,
+		zoneBytes: zb,
+		base:      2 * zb,
+		cells:     make([]budgetCell, workers),
+	}
+}
+
+// publish stores worker w's pool allocation into its cell; single writer.
+func (b *memBudget) publish(w int, pool *dbm.Pool) {
+	gets, reuses := pool.Stats()
+	b.cells[w].bytes.Store(int64(gets-reuses) * b.zoneBytes)
+}
+
+// exceeded sums every worker's published bytes against the limit.
+func (b *memBudget) exceeded() bool {
+	total := b.base
+	for i := range b.cells {
+		total += b.cells[i].bytes.Load()
+	}
+	return total > b.limit
+}

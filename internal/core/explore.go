@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dbm"
+	"repro/internal/faultinject"
 )
 
 // ErrCanceled reports an exploration stopped early through Options.Cancel.
@@ -257,10 +259,11 @@ type explorer struct {
 	front   frontier
 	logs    *parentLogs // nil when no trace can be requested
 	mon     *monView    // nil when no Monitor is attached
+	budget  *memBudget  // nil when no memory budget is configured
 
-	// hasAbort caches "Cancel or Deadline configured" so the worker loop
-	// pays a single predictable branch when neither is.
-	hasAbort bool
+	// hasCheck caches "Cancel, Deadline, or MaxBytes configured" so the
+	// worker loop pays a single predictable branch when none is.
+	hasCheck bool
 
 	stop atomic.Bool
 	// live counts queries that have not yet completed; the completion that
@@ -337,6 +340,25 @@ func (e *explorer) visitAdmitted(w int, s *State) (stopSweep bool) {
 	return false
 }
 
+// runContained executes one worker with panic containment: a crash anywhere
+// in the worker loop — engine bug, panicking visitor predicate, injected
+// fault — becomes a per-run *PanicError through the same failure path as
+// cancellation instead of killing the process. Containment honors the
+// zone/pool ownership protocol by doing nothing: the panicked worker simply
+// abandons its succCtx (scratch zone, pool, state free list) to the garbage
+// collector along with the rest of the run's pools, so a possibly-corrupt
+// state is never recycled, and the other workers drain promptly through the
+// stop flag that fail raises. The deferred stats flush inside run still lands
+// during unwinding, so partial Stats stay accurate.
+func (e *explorer) runContained(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(&PanicError{Worker: w, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	e.run(w)
+}
+
 // run is the worker loop, identical for both frontiers: pop, expand, admit
 // successors, feed the query set, recycle the expanded state. Statistics
 // accumulate in locals and flush once on exit.
@@ -360,8 +382,24 @@ func (e *explorer) run(w int) {
 		e.deadlocks.Add(nDeadlocks)
 	}()
 	for {
-		if e.hasAbort && nPopped&abortCheckMask == 0 {
+		if e.hasCheck && nPopped&abortCheckMask == 0 {
 			if err := e.abortErr(); err != nil {
+				e.fail(err)
+				return
+			}
+			if e.budget != nil {
+				// Publish this worker's pool allocation and test the global
+				// sum — single-writer stores plus a few loads, only between
+				// expansions, only when a budget is configured.
+				e.budget.publish(w, ctx.pool)
+				if e.budget.exceeded() {
+					e.fail(ErrMemoryBudget)
+					return
+				}
+			}
+		}
+		if faultinject.Enabled {
+			if err := faultinject.Fire("core/worker"); err != nil {
 				e.fail(err)
 				return
 			}
@@ -420,6 +458,13 @@ func (e *explorer) run(w int) {
 			if len(e.queries) > 0 && e.visitAdmitted(w, sc.state) {
 				return
 			}
+			// The hard state budget is checked at admission — the point the
+			// count is already in hand — and fails the run; the soft MaxStates
+			// below merely truncates it.
+			if e.opts.StateBudget > 0 && n > int64(e.opts.StateBudget) {
+				e.fail(ErrStateBudget)
+				return
+			}
 			if e.opts.MaxStates > 0 && n >= int64(e.opts.MaxStates) {
 				e.truncated.Store(true)
 				e.stop.Store(true)
@@ -448,8 +493,9 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 		return res, err
 	}
 	e := &explorer{c: c, opts: opts, queries: queries}
-	e.hasAbort = opts.Cancel != nil || !opts.Deadline.IsZero()
-	if e.hasAbort {
+	hasAbort := opts.Cancel != nil || !opts.Deadline.IsZero()
+	e.hasCheck = hasAbort || opts.MaxBytes > 0
+	if hasAbort {
 		// Refuse to start an already-aborted run: a closed Cancel channel or
 		// an expired Deadline returns immediately with zero Stats, before any
 		// query is marked used.
@@ -457,6 +503,9 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 			res.Duration = time.Since(start)
 			return res, aerr
 		}
+	}
+	if opts.MaxBytes > 0 {
+		e.budget = newMemBudget(opts.MaxBytes, c.eng.dim, workers)
 	}
 	e.deadRef.Store(noRef)
 	e.live.Store(int64(len(queries)))
@@ -496,8 +545,20 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 	}
 
 	// The initial state is admitted like any other; if it already completes
-	// the whole query set, the sweep is skipped.
-	drained := len(queries) > 0 && e.visitAdmitted(0, init)
+	// the whole query set, the sweep is skipped. The visit runs contained
+	// like the workers' — it executes the same caller-supplied predicates,
+	// and a crash here must fail the run, not the process.
+	drained := false
+	if len(queries) > 0 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.fail(&PanicError{Worker: 0, Value: r, Stack: debug.Stack()})
+				}
+			}()
+			drained = e.visitAdmitted(0, init)
+		}()
+	}
 	if !drained {
 		if parallel {
 			e.front = newDequeFrontier(workers, opts.Seed, opts.dequeCapacity(), &e.stop)
@@ -523,12 +584,12 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 			for i := 0; i < workers; i++ {
 				go func(id int) {
 					defer wg.Done()
-					e.run(id)
+					e.runContained(id)
 				}(i)
 			}
 			wg.Wait()
 		} else {
-			e.run(0)
+			e.runContained(0)
 		}
 	}
 	if e.mon != nil {

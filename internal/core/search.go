@@ -49,6 +49,20 @@ type Options struct {
 	// depends on scheduling; keep Workers at 1 when seeded reproducibility
 	// of truncated bounds matters.
 	MaxStates int
+	// StateBudget is the hard counterpart of MaxStates: admitting more than
+	// this many unique states fails the run with ErrStateBudget and partial
+	// Stats (the Checker stays reusable). 0 means unlimited. Use MaxStates
+	// when a truncated answer is still useful as a bound; use StateBudget
+	// when exceeding the cap must be an error the caller cannot miss.
+	StateBudget int
+	// MaxBytes bounds the run's zone memory: once the matrices allocated by
+	// the exploration's pools exceed this many bytes, the run fails with
+	// ErrMemoryBudget and partial Stats via the same between-expansions
+	// abort point as Cancel. 0 means unlimited. Accounting is per-worker
+	// (budget.go) and adds nothing to the visitor path; the count covers
+	// zone storage only — the dominant consumer — not discrete vectors or
+	// store bookkeeping.
+	MaxBytes int64
 	// StopAtDeadlock ends the exploration at the first deadlocked state
 	// (no action successor from the state or any of its delay successors),
 	// recording a trace to it.

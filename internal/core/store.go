@@ -206,9 +206,15 @@ func newPStore(shards int) *pstore {
 // the shard lock is shared).
 func (st *pstore) add(s *State, pool *dbm.Pool) bool {
 	sh := &st.shards[s.discreteKey()&st.mask]
+	// The unlock is deferred so a panic inside the admission (contained per
+	// worker by explorer.runContained) releases the shard instead of hanging
+	// every other worker that hashes to it; the open-coded defer costs no
+	// allocation. The run is failing at that point, so the possibly
+	// half-admitted entry is only ever read by workers about to observe the
+	// stop flag — and the store, like the pools, dies with the run.
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	delta, admitted := lookupEntry(sh.buckets, s).admit(s, pool)
-	sh.mu.Unlock()
 	if delta != 0 {
 		st.zones.Add(int64(delta))
 	}

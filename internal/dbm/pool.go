@@ -69,3 +69,9 @@ func (p *Pool) Put(d *DBM) {
 // Stats reports how many Gets the pool served and how many of those reused a
 // released matrix (the rest allocated).
 func (p *Pool) Stats() (gets, reuses int) { return p.gets, p.reuses }
+
+// ZoneBytes returns the in-memory size of one dim-dimensional matrix's bound
+// storage — the unit memory-budget accounting multiplies allocation counts
+// by (internal/core). Headers and free-list slots are ignored: the dim²
+// bounds dominate at every realistic dimension.
+func ZoneBytes(dim int) int64 { return int64(dim) * int64(dim) * 8 }

@@ -1,0 +1,39 @@
+//go:build !faultinject
+
+package faultinject
+
+import "time"
+
+// Enabled is false in the default build: every `if faultinject.Enabled`
+// guard is a constant-false branch the compiler deletes, so instrumented
+// sites cost nothing outside chaos testing.
+const Enabled = false
+
+// Kind mirrors the tagged build so instrumentation compiles either way.
+type Kind int
+
+const (
+	KindPanic Kind = iota
+	KindError
+	KindDelay
+)
+
+// Fault mirrors the tagged build.
+type Fault struct {
+	Kind  Kind
+	After int64
+	Delay time.Duration
+	Err   error
+}
+
+// Set is a no-op without the faultinject tag.
+func Set(string, Fault) {}
+
+// Clear is a no-op without the faultinject tag.
+func Clear(string) {}
+
+// Reset is a no-op without the faultinject tag.
+func Reset() {}
+
+// Fire is a no-op without the faultinject tag; it inlines to nil.
+func Fire(string) error { return nil }

@@ -56,6 +56,17 @@ type CellOptions struct {
 	// Workers > 1 enables parallel exploration per cell, witness traces
 	// included.
 	Workers int
+	// MaxBytes bounds each exploration's zone memory; exceeding it fails the
+	// cell with core.ErrMemoryBudget instead of exhausting the host. Unlike
+	// MaxStates there is no degraded answer past this bound — memory is a
+	// hard resource. 0 = unbounded.
+	MaxBytes int64
+}
+
+// coreOpts maps the shared exploration knobs onto engine options; the
+// randomized fallback runs override MaxStates and Order on top of it.
+func (o CellOptions) coreOpts() core.Options {
+	return core.Options{MaxStates: o.MaxStates, MaxBytes: o.MaxBytes, Workers: o.Workers}
 }
 
 // Cell computes one Table 1 cell: the WCRT of row.Req under column col.
@@ -70,7 +81,7 @@ func Cell(row Row, col Column, opts CellOptions) (arch.WCRTResult, error) {
 	}
 	copts := arch.Options{HorizonMS: HorizonMS(row.Req)}
 	res, err := arch.AnalyzeWCRT(sys, req, copts,
-		core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+		opts.coreOpts())
 	if err != nil {
 		return res, err
 	}
@@ -78,8 +89,8 @@ func Cell(row Row, col Column, opts CellOptions) (arch.WCRTResult, error) {
 		return res, nil
 	}
 	// Structured-testing fallback: randomized depth-first lower bound.
-	fb, err := arch.AnalyzeWCRT(sys, req, copts, core.Options{
-		Order: core.RDFS, Seed: opts.Seed, MaxStates: opts.FallbackStates})
+	fb, err := arch.AnalyzeWCRT(sys, req, copts, core.Options{Order: core.RDFS, Seed: opts.Seed,
+		MaxStates: opts.FallbackStates, MaxBytes: opts.MaxBytes})
 	if err != nil {
 		return res, err
 	}
@@ -109,7 +120,7 @@ func Cells(combo Combo, col Column, reqNames []string, opts CellOptions) (map[st
 		}
 	}
 	all, err := arch.AnalyzeAll(sys, ordered, arch.Options{HorizonMSFor: batchHorizons},
-		core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+		opts.coreOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +132,8 @@ func Cells(combo Combo, col Column, reqNames []string, opts CellOptions) (map[st
 			// sweep was truncated, so tighten each lower bound with a
 			// randomized depth-first run of its own observer.
 			fb, err := arch.AnalyzeWCRT(sys, req, arch.Options{HorizonMS: HorizonMS(req.Name)},
-				core.Options{Order: core.RDFS, Seed: opts.Seed, MaxStates: opts.FallbackStates})
+				core.Options{Order: core.RDFS, Seed: opts.Seed,
+					MaxStates: opts.FallbackStates, MaxBytes: opts.MaxBytes})
 			if err != nil {
 				return nil, err
 			}
@@ -316,7 +328,7 @@ func Witness(row Row, col Column, opts CellOptions) (string, arch.WCRTResult, er
 	}
 	return arch.WCRTWitness(sys, req,
 		arch.Options{HorizonMS: HorizonMS(row.Req)},
-		core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+		opts.coreOpts())
 }
 
 // Deadlines lists the timeliness requirements annotated in the paper's
@@ -365,7 +377,7 @@ func Verify(combo Combo, col Column, opts CellOptions) (map[string]bool, error) 
 		return h
 	}
 	all, err := arch.AnalyzeAll(sys, ordered, arch.Options{HorizonMSFor: horizons},
-		core.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+		opts.coreOpts())
 	if err != nil {
 		return nil, fmt.Errorf("verify %v: %w", combo, err)
 	}

@@ -3,19 +3,26 @@ package serve
 import (
 	"container/list"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
-// This file is the execution half of the service: a global CPU-token
+// This file is the execution half of the service: a global resource
 // admission controller and a bounded job manager. Every analysis job declares
-// how many exploration workers it will run and must hold that many tokens
-// for the duration of its sweep, so k simultaneous analyses (each itself
-// parallel) never oversubscribe the host: the total number of exploration
-// worker goroutines actually running is capped by the token pool, and excess
-// jobs queue FIFO at admission instead of thrashing the scheduler.
+// how many exploration workers it will run and how many bytes of zone memory
+// it may grow to, and must hold that grant — CPU tokens plus a memory slice
+// of the server's global budget — for the duration of its sweep. k
+// simultaneous analyses (each itself parallel) therefore never oversubscribe
+// the host's cores or its RAM: worker goroutines are capped by the token
+// pool, resident zone memory by the byte pool, and excess jobs queue FIFO at
+// admission instead of thrashing the scheduler. The memory grant doubles as
+// the job's core.Options.MaxBytes, so a job that outgrows what it was
+// admitted with fails alone (ErrMemoryBudget, partial stats) instead of
+// OOM-killing the node and every queued job with it.
 
 // Job states on the wire.
 const (
@@ -26,44 +33,63 @@ const (
 	StateCanceled = "canceled" // canceled by a client or by shutdown
 )
 
-// errDeadlineExceeded names the failure the wire exposes for expired jobs.
-const errDeadlineExceeded = "DeadlineExceeded"
+// Named failures the wire exposes for resource-bounded jobs.
+const (
+	errDeadlineExceeded = "DeadlineExceeded"
+	errMemoryBudget     = "MemoryBudgetExceeded"
+	errStateBudget      = "StateBudgetExceeded"
+)
 
 // cpuTokens is the admission controller: a FIFO counting semaphore over the
-// host's CPU budget. Waiters never overtake (head-of-line order), so a wide
-// job cannot starve behind a stream of narrow ones.
+// host's CPU budget and, when the server configures one, its memory budget.
+// A waiter is granted atomically — all its tokens and all its bytes, or
+// nothing — and waiters never overtake (head-of-line order), so a wide job
+// cannot starve behind a stream of narrow ones.
 type cpuTokens struct {
-	mu      sync.Mutex
-	total   int
-	avail   int
-	waiters *list.List // of *tokenWait
+	mu         sync.Mutex
+	total      int
+	avail      int
+	totalBytes int64 // 0 = memory unmetered
+	availBytes int64
+	waiters    *list.List // of *tokenWait
 }
 
 type tokenWait struct {
 	n       int
+	bytes   int64
 	ready   chan struct{}
 	granted bool
 }
 
-func newCPUTokens(total int) *cpuTokens {
+func newCPUTokens(total int, budgetBytes int64) *cpuTokens {
 	if total < 1 {
 		total = 1
 	}
-	return &cpuTokens{total: total, avail: total, waiters: list.New()}
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	return &cpuTokens{total: total, avail: total,
+		totalBytes: budgetBytes, availBytes: budgetBytes, waiters: list.New()}
 }
 
-// acquire blocks until n tokens are granted, the cancel channel fires, or
-// the deadline (when nonzero) passes; the abort errors are the core
+// fitsLocked reports whether a grant of (n, bytes) fits the free resources.
+func (t *cpuTokens) fitsLocked(n int, bytes int64) bool {
+	return t.avail >= n && (t.totalBytes == 0 || t.availBytes >= bytes)
+}
+
+// acquire blocks until the (n tokens, bytes) grant lands, the cancel channel
+// fires, or the deadline (when nonzero) passes; the abort errors are the core
 // sentinels so queue-time aborts report exactly like sweep-time ones.
-// n must already be clamped to [1, total].
-func (t *cpuTokens) acquire(cancel <-chan struct{}, deadline time.Time, n int) error {
+// n must already be clamped to [1, total] and bytes to [0, totalBytes].
+func (t *cpuTokens) acquire(cancel <-chan struct{}, deadline time.Time, n int, bytes int64) error {
 	t.mu.Lock()
-	if t.waiters.Len() == 0 && t.avail >= n {
+	if t.waiters.Len() == 0 && t.fitsLocked(n, bytes) {
 		t.avail -= n
+		t.availBytes -= bytes
 		t.mu.Unlock()
 		return nil
 	}
-	w := &tokenWait{n: n, ready: make(chan struct{})}
+	w := &tokenWait{n: n, bytes: bytes, ready: make(chan struct{})}
 	el := t.waiters.PushBack(w)
 	t.mu.Unlock()
 
@@ -91,8 +117,9 @@ func (t *cpuTokens) acquire(cancel <-chan struct{}, deadline time.Time, n int) e
 	t.mu.Lock()
 	if w.granted {
 		// The grant raced the abort: keep it consistent by returning the
-		// tokens; the caller sees the abort.
+		// resources; the caller sees the abort.
 		t.avail += n
+		t.availBytes += bytes
 		t.grantLocked()
 	} else {
 		t.waiters.Remove(el)
@@ -102,22 +129,24 @@ func (t *cpuTokens) acquire(cancel <-chan struct{}, deadline time.Time, n int) e
 	return aborted
 }
 
-// release returns n tokens and wakes eligible waiters.
-func (t *cpuTokens) release(n int) {
+// release returns a grant and wakes eligible waiters.
+func (t *cpuTokens) release(n int, bytes int64) {
 	t.mu.Lock()
 	t.avail += n
+	t.availBytes += bytes
 	t.grantLocked()
 	t.mu.Unlock()
 }
 
-// grantLocked grants waiters FIFO while tokens last.
+// grantLocked grants waiters FIFO while resources last.
 func (t *cpuTokens) grantLocked() {
 	for t.waiters.Len() > 0 {
 		w := t.waiters.Front().Value.(*tokenWait)
-		if t.avail < w.n {
+		if !t.fitsLocked(w.n, w.bytes) {
 			return
 		}
 		t.avail -= w.n
+		t.availBytes -= w.bytes
 		w.granted = true
 		close(w.ready)
 		t.waiters.Remove(t.waiters.Front())
@@ -131,6 +160,20 @@ func (t *cpuTokens) inUse() int {
 	return t.total - t.avail
 }
 
+// bytesInUse reports memory-budget bytes currently granted.
+func (t *cpuTokens) bytesInUse() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalBytes - t.availBytes
+}
+
+// waiting reports the admission queue depth: jobs blocked for a grant.
+func (t *cpuTokens) waiting() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.waiters.Len()
+}
+
 // job is one submitted analysis. Its id IS the content key of the normalized
 // submission (sha256 hex), which is what makes the job table double as the
 // result cache: resubmitting identical work lands on the same entry, running
@@ -139,6 +182,7 @@ type job struct {
 	id        string
 	kind      string // "arch" | "ta"
 	workers   int    // CPU tokens held while running
+	memBytes  int64  // memory-budget bytes held while running (0 = unmetered)
 	submitted time.Time
 	deadline  time.Time // zero = unbounded
 	mon       *core.Monitor
@@ -156,9 +200,9 @@ type job struct {
 	done     chan struct{}     // closed on any terminal state
 }
 
-func newJob(id, kind string, workers int, deadline time.Time) *job {
+func newJob(id, kind string, workers int, memBytes int64, deadline time.Time) *job {
 	return &job{
-		id: id, kind: kind, workers: workers,
+		id: id, kind: kind, workers: workers, memBytes: memBytes,
 		submitted: time.Now(), deadline: deadline,
 		mon:      &core.Monitor{},
 		cancelCh: make(chan struct{}),
@@ -197,6 +241,12 @@ func (j *job) finish(result []byte, traces map[string]string, err error) {
 	case errors.Is(err, core.ErrDeadlineExceeded):
 		j.state = StateFailed
 		j.errMsg = errDeadlineExceeded
+	case errors.Is(err, core.ErrMemoryBudget):
+		j.state = StateFailed
+		j.errMsg = errMemoryBudget
+	case errors.Is(err, core.ErrStateBudget):
+		j.state = StateFailed
+		j.errMsg = errStateBudget
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
@@ -263,7 +313,7 @@ type runFunc func(j *job) ([]byte, map[string]string, error)
 // when absent. An existing live or successfully-finished job is shared
 // (created=false — the singleflight/result-cache path); a failed or canceled
 // one is replaced by a fresh attempt.
-func (m *jobManager) submit(id, kind string, workers int, deadline time.Time, run runFunc) (*job, bool, error) {
+func (m *jobManager) submit(id, kind string, workers int, memBytes int64, deadline time.Time, run runFunc) (*job, bool, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -286,7 +336,7 @@ func (m *jobManager) submit(id, kind string, workers int, deadline time.Time, ru
 		m.mu.Unlock()
 		return nil, false, errBusy
 	}
-	j := newJob(id, kind, workers, deadline)
+	j := newJob(id, kind, workers, memBytes, deadline)
 	m.jobs[id] = j
 	m.active++
 	m.wg.Add(1)
@@ -298,16 +348,38 @@ func (m *jobManager) submit(id, kind string, workers int, deadline time.Time, ru
 
 func (m *jobManager) execute(j *job, run runFunc) {
 	defer m.wg.Done()
-	if err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers); err != nil {
+	if err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers, j.memBytes); err != nil {
 		j.finish(nil, nil, err)
 		m.onTerminal(j)
 		return
 	}
 	j.setRunning()
-	result, traces, err := run(j)
-	m.tokens.release(j.workers)
+	result, traces, err := runContained(j, run)
+	m.tokens.release(j.workers, j.memBytes)
 	j.finish(result, traces, err)
 	m.onTerminal(j)
+}
+
+// runContained executes the job closure with panic containment: a crash in
+// one analysis — engine bug, malformed compiled model, injected fault —
+// fails that job alone instead of killing the process and every queued job
+// with it. The grant release, finish, and LRU insertion in execute all run
+// normally afterwards, so a panicked job leaks neither tokens nor bytes nor
+// a table slot. (The exploration's own workers are additionally contained
+// inside core; this recover catches everything outside them.)
+func runContained(j *job, run runFunc) (result []byte, traces map[string]string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, traces = nil, nil
+			err = fmt.Errorf("serve: job panicked: %v", r)
+		}
+	}()
+	if faultinject.Enabled {
+		if ferr := faultinject.Fire("serve/job"); ferr != nil {
+			return nil, nil, ferr
+		}
+	}
+	return run(j)
 }
 
 // onTerminal moves the job into the retained-results LRU and evicts beyond

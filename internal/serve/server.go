@@ -59,6 +59,14 @@ type Config struct {
 	// DefaultDeadline bounds each job's wall clock when the submission does
 	// not set deadline_ms. Zero = unbounded.
 	DefaultDeadline time.Duration
+	// MemoryBudget is the global zone-memory budget in bytes. When set, every
+	// job holds a memory grant alongside its CPU tokens while running: its
+	// requested max_bytes (clamped to the budget), or a fair share of
+	// MemoryBudget/CPUTokens per worker when the submission does not ask.
+	// The grant is also the job's core memory budget, so one runaway
+	// submission fails alone with MemoryBudgetExceeded instead of OOM-killing
+	// the node. Zero = memory unmetered.
+	MemoryBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -104,12 +112,13 @@ type Server struct {
 	explorations atomic.Int64 // sweeps actually run
 	canceled     atomic.Int64
 	expired      atomic.Int64
+	shed         atomic.Int64 // submissions rejected 429 at admission
 }
 
 // New returns a ready server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	tokens := newCPUTokens(cfg.CPUTokens)
+	tokens := newCPUTokens(cfg.CPUTokens, cfg.MemoryBudget)
 	return &Server{
 		cfg:      cfg,
 		start:    time.Now(),
@@ -159,6 +168,7 @@ type Counters struct {
 	Explorations  int64
 	Canceled      int64
 	Expired       int64
+	Shed          int64
 	ModelHits     int64
 	ModelMisses   int64
 	CompileHits   int64
@@ -176,6 +186,7 @@ func (s *Server) Stats() Counters {
 		Explorations:  s.explorations.Load(),
 		Canceled:      s.canceled.Load(),
 		Expired:       s.expired.Load(),
+		Shed:          s.shed.Load(),
 		ModelHits:     mh,
 		ModelMisses:   mm,
 		CompileHits:   ch,
@@ -216,6 +227,14 @@ type SubmitOptions struct {
 	Workers int `json:"workers,omitempty"`
 	// MaxStates truncates the exploration (0 = exhaustive).
 	MaxStates int `json:"max_states,omitempty"`
+	// StateBudget hard-caps the exploration: exceeding it fails the job with
+	// error "StateBudgetExceeded" (unlike max_states, which truncates).
+	StateBudget int `json:"state_budget,omitempty"`
+	// MaxBytes bounds the job's zone memory; exceeding it fails the job with
+	// error "MemoryBudgetExceeded" and partial progress. When the server
+	// runs with a global memory budget this is also the job's admission
+	// grant (clamped to the budget); 0 requests the server's default share.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
 	// Order is the search order: bfs (default), df, rdf.
 	Order string `json:"order,omitempty"`
 	// Seed feeds rdf shuffling.
@@ -279,6 +298,8 @@ type jobSpec struct {
 	QueueCap       int64            `json:"queue_cap"`
 	Workers        int              `json:"workers"`
 	MaxStates      int              `json:"max_states"`
+	StateBudget    int              `json:"state_budget"`
+	MaxBytes       int64            `json:"max_bytes"`
 	Order          string           `json:"order"`
 	Seed           int64            `json:"seed"`
 	MaxConst       int64            `json:"max_const,omitempty"`
@@ -309,13 +330,17 @@ func hashBytes(parts ...string) string {
 
 type httpError struct {
 	status int
+	code   string
 	msg    string
+	// retryAfter, when nonzero, marks the rejection as retryable: it becomes
+	// the Retry-After header and the structured retry guidance on the wire.
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *httpError {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -326,12 +351,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError renders any error as a structured wire.ErrorResponse. Retryable
+// rejections additionally carry a Retry-After header plus jittered-backoff
+// guidance in the body: the client should wait retry_after_ms plus up to
+// retry_jitter_ms of uniform random slack, so a herd of shed clients spreads
+// out instead of stampeding back together.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	body := wire.ErrorResponse{Error: err.Error(), Code: "internal"}
 	if he, ok := err.(*httpError); ok {
 		status = he.status
+		body.Code = he.code
+		if he.retryAfter > 0 {
+			body.RetryAfterMS = he.retryAfter.Milliseconds()
+			body.RetryJitterMS = body.RetryAfterMS / 2
+			w.Header().Set("Retry-After", fmt.Sprint(int64((he.retryAfter+time.Second-1)/time.Second)))
+		}
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, body)
 }
 
 // maxBodyBytes bounds submissions; model sources are text, 8 MiB is generous.
@@ -345,7 +382,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(body) > maxBodyBytes {
-		writeError(w, &httpError{status: http.StatusRequestEntityTooLarge, msg: "model too large"})
+		writeError(w, &httpError{
+			status: http.StatusRequestEntityTooLarge,
+			code:   "body_too_large",
+			msg:    fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes),
+		})
 		return
 	}
 	var req SubmitRequest
@@ -373,14 +414,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	run := s.runFunc(spec, model)
-	j, created, err := s.jobs.submit(id, spec.Kind, spec.Workers, deadline, run)
+	j, created, err := s.jobs.submit(id, spec.Kind, spec.Workers, spec.MaxBytes, deadline, run)
 	switch err {
 	case nil:
 	case errBusy:
-		writeError(w, &httpError{status: http.StatusTooManyRequests, msg: err.Error()})
+		// Overload shedding: reject with retry guidance scaled to the queue
+		// depth, so clients back off harder the deeper the backlog. Cached
+		// results keep being served throughout — only NEW work is shed (the
+		// job-table lookup above this rejection hits finished twins first).
+		s.shed.Add(1)
+		writeError(w, &httpError{
+			status:     http.StatusTooManyRequests,
+			code:       "overloaded",
+			msg:        err.Error(),
+			retryAfter: s.retryAfter(),
+		})
 		return
 	case errShuttingDown:
-		writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()})
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, code: "shutting_down", msg: err.Error()})
 		return
 	default:
 		writeError(w, err)
@@ -399,6 +450,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, SubmitResponse{JobID: j.id, State: state, Created: created})
+}
+
+// retryAfter derives shed-retry guidance from the current queue pressure:
+// one second of backoff per CPUTokens' worth of active jobs, clamped to
+// [1s, 60s]. Deeper backlog → longer suggested wait.
+func (s *Server) retryAfter() time.Duration {
+	active, _ := s.jobs.counts()
+	d := time.Duration(1+active/s.cfg.CPUTokens) * time.Second
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
 }
 
 // normalize validates the submission, resolves the model through the parsed
@@ -429,16 +492,42 @@ func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError
 	if req.Options.QueueCap == 0 {
 		req.Options.QueueCap = 8
 	}
+	// Resolve the job's memory grant against the global budget: a declared
+	// max_bytes is clamped to the budget; an undeclared one defaults to a
+	// fair share of the budget proportional to the job's CPU grant. Without
+	// a server budget the declared value passes through as a pure per-job
+	// core budget (no admission hold).
+	maxBytes := req.Options.MaxBytes
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	if s.cfg.MemoryBudget > 0 {
+		if maxBytes == 0 {
+			maxBytes = s.cfg.MemoryBudget / int64(s.cfg.CPUTokens) * int64(workers)
+		}
+		if maxBytes > s.cfg.MemoryBudget {
+			maxBytes = s.cfg.MemoryBudget
+		}
+		if maxBytes < 1 {
+			maxBytes = 1
+		}
+	}
+	stateBudget := req.Options.StateBudget
+	if stateBudget < 0 {
+		stateBudget = 0
+	}
 	spec = jobSpec{
-		Kind:       req.Kind,
-		HorizonMS:  req.Options.HorizonMS,
-		QueueCap:   req.Options.QueueCap,
-		Workers:    workers,
-		MaxStates:  req.Options.MaxStates,
-		Order:      req.Options.Order,
-		Seed:       req.Options.Seed,
-		DeadlineMS: req.Options.DeadlineMS,
-		Witness:    req.Options.Witness && req.Kind == "arch",
+		Kind:        req.Kind,
+		HorizonMS:   req.Options.HorizonMS,
+		QueueCap:    req.Options.QueueCap,
+		Workers:     workers,
+		MaxStates:   req.Options.MaxStates,
+		StateBudget: stateBudget,
+		MaxBytes:    maxBytes,
+		Order:       req.Options.Order,
+		Seed:        req.Options.Seed,
+		DeadlineMS:  req.Options.DeadlineMS,
+		Witness:     req.Options.Witness && req.Kind == "arch",
 	}
 	// Canonicalize away fields that cannot affect this submission's answer,
 	// so semantically identical requests hash to one job: the seed only
@@ -548,12 +637,14 @@ func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError
 // the engine options.
 func coreOptions(spec jobSpec, j *job) core.Options {
 	opts := core.Options{
-		Seed:      spec.Seed,
-		MaxStates: spec.MaxStates,
-		Workers:   spec.Workers,
-		Cancel:    j.cancelCh,
-		Deadline:  j.deadline,
-		Monitor:   j.mon,
+		Seed:        spec.Seed,
+		MaxStates:   spec.MaxStates,
+		StateBudget: spec.StateBudget,
+		MaxBytes:    spec.MaxBytes,
+		Workers:     spec.Workers,
+		Cancel:      j.cancelCh,
+		Deadline:    j.deadline,
+		Monitor:     j.mon,
 	}
 	switch spec.Order {
 	case "df":
@@ -797,16 +888,45 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"job_id": j.id, "state": state, "error": errMsg})
 }
 
+// handleHealthz reports graded health, not a flat 200: the body carries the
+// admission pressure (queue depth, CPU-token and memory-budget saturation)
+// and the result-cache hit rate, and when admission is saturated — new
+// submissions would be shed — the endpoint flips to ok:false / 503 so load
+// balancers steer traffic away while the node keeps draining its backlog and
+// serving cached results.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	active, retained := s.jobs.counts()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":            true,
-		"uptime_s":      int64(time.Since(s.start).Seconds()),
-		"active_jobs":   active,
-		"retained_jobs": retained,
-		"cpu_tokens":    s.cfg.CPUTokens,
-		"tokens_in_use": s.tokens.inUse(),
-	})
+	c := s.Stats()
+	inUse := s.tokens.inUse()
+	degraded := active >= s.cfg.MaxActiveJobs
+	hitRate := 0.0
+	if c.Submissions > 0 {
+		hitRate = float64(c.ResultHits) / float64(c.Submissions)
+	}
+	body := map[string]any{
+		"ok":                    !degraded,
+		"degraded":              degraded,
+		"uptime_s":              int64(time.Since(s.start).Seconds()),
+		"active_jobs":           active,
+		"max_active_jobs":       s.cfg.MaxActiveJobs,
+		"retained_jobs":         retained,
+		"queue_depth":           s.tokens.waiting(),
+		"cpu_tokens":            s.cfg.CPUTokens,
+		"tokens_in_use":         inUse,
+		"cpu_saturation":        float64(inUse) / float64(s.cfg.CPUTokens),
+		"memory_budget_bytes":   s.cfg.MemoryBudget,
+		"memory_in_use_bytes":   s.tokens.bytesInUse(),
+		"shed_total":            c.Shed,
+		"result_cache_hit_rate": hitRate,
+	}
+	if s.cfg.MemoryBudget > 0 {
+		body["memory_saturation"] = float64(s.tokens.bytesInUse()) / float64(s.cfg.MemoryBudget)
+	}
+	status := http.StatusOK
+	if degraded {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -829,4 +949,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "taserved_jobs_retained %d\n", retained)
 	fmt.Fprintf(w, "taserved_cpu_tokens_total %d\n", s.cfg.CPUTokens)
 	fmt.Fprintf(w, "taserved_cpu_tokens_in_use %d\n", s.tokens.inUse())
+	fmt.Fprintf(w, "taserved_admission_queue_depth %d\n", s.tokens.waiting())
+	fmt.Fprintf(w, "taserved_memory_budget_bytes %d\n", s.cfg.MemoryBudget)
+	fmt.Fprintf(w, "taserved_memory_in_use_bytes %d\n", s.tokens.bytesInUse())
+	fmt.Fprintf(w, "taserved_shed_total %d\n", c.Shed)
 }

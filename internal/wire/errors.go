@@ -1,0 +1,21 @@
+package wire
+
+// ErrorResponse is the structured error body of every non-2xx taserved
+// response. Error is the human-readable message (the historical `{"error":
+// "..."}` shape, so old clients keep decoding); the remaining fields are
+// machine guidance added for overload shedding.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code names the failure class machine-readably: "bad_request",
+	// "body_too_large", "overloaded", "shutting_down", "not_found",
+	// "internal".
+	Code string `json:"code,omitempty"`
+	// RetryAfterMS, when nonzero, tells the client the request is worth
+	// retrying after this many milliseconds (mirrors the Retry-After header,
+	// derived from the server's queue depth at rejection time).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// RetryJitterMS asks the client to add up to this much uniform random
+	// extra delay before retrying, so a herd of shed clients does not
+	// reconverge on the same instant.
+	RetryJitterMS int64 `json:"retry_jitter_ms,omitempty"`
+}
