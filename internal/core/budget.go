@@ -21,14 +21,20 @@ import (
 //
 //   - States are counted at admission by the existing e.stored counter; the
 //     state budget is one extra compare on the admission path.
-//   - Zone bytes are known at pool get/put: every matrix in the run — worker
-//     scratch, admitted states, store copies — is drawn from some worker's
-//     dbm.Pool, whose gets/reuses counters already record how many matrices
-//     it allocated (gets − reuses). At each checkpoint a worker publishes its
-//     own pool's allocation into its cache-line-padded cell (a plain store,
-//     single writer) and sums all cells against the limit. The cells are
-//     allocated only when a memory budget is configured, so unbudgeted runs
-//     pay nothing — not even the allocation.
+//   - Worker-side zone bytes are known at pool get/put: every full matrix in
+//     the run — worker scratch, admitted states still in flight — is drawn
+//     from some worker's dbm.Pool, whose gets/reuses counters already record
+//     how many matrices it allocated (gets − reuses). At each checkpoint a
+//     worker publishes its own pool's allocation into its cache-line-padded
+//     cell (a plain store, single writer) and sums all cells against the
+//     limit. The cells are allocated only when a memory budget is
+//     configured, so unbudgeted runs pay nothing — not even the allocation.
+//   - Store-side bytes are charged at their ACTUAL packed footprint: the
+//     passed store tracks the exact bytes of its compact zone buffers plus
+//     its interned discrete vectors (store.go), and the checkpoint adds that
+//     live total (passedSet.bytes) to the worker cells. Compression behind
+//     the admission boundary is therefore budget-visible: the same model
+//     fits a smaller MaxBytes than it would with full stored DBMs.
 
 // ErrStateBudget reports an exploration stopped because Options.StateBudget
 // unique states had been admitted. The accompanying Stats are the partial
@@ -72,8 +78,8 @@ type memBudget struct {
 	limit int64
 	// zoneBytes is the size of one pooled matrix (dim² bounds).
 	zoneBytes int64
-	// base charges the allocations made before workers start: the initial
-	// state's zone and its store copy (drawn from the init pool).
+	// base charges the one allocation made before workers start: the initial
+	// state's zone (its packed store copy is inside the stored-bytes total).
 	base  int64
 	cells []budgetCell
 }
@@ -83,7 +89,7 @@ func newMemBudget(limit int64, dim, workers int) *memBudget {
 	return &memBudget{
 		limit:     limit,
 		zoneBytes: zb,
-		base:      2 * zb,
+		base:      zb,
 		cells:     make([]budgetCell, workers),
 	}
 }
@@ -94,9 +100,10 @@ func (b *memBudget) publish(w int, pool *dbm.Pool) {
 	b.cells[w].bytes.Store(int64(gets-reuses) * b.zoneBytes)
 }
 
-// exceeded sums every worker's published bytes against the limit.
-func (b *memBudget) exceeded() bool {
-	total := b.base
+// exceeded sums every worker's published bytes plus the passed store's
+// actual packed footprint against the limit.
+func (b *memBudget) exceeded(storedBytes int64) bool {
+	total := b.base + storedBytes
 	for i := range b.cells {
 		total += b.cells[i].bytes.Load()
 	}

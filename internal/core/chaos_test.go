@@ -80,6 +80,55 @@ func TestChaosInjectedAllocFailure(t *testing.T) {
 	}
 }
 
+// TestChaosStorePanicContained injects a panic inside compact-store admission
+// ("core/store" fires at the top of storeEntry.admit, i.e. while the pstore
+// variant holds a shard lock) and requires a contained *PanicError. The
+// follow-up sweeps prove two things: the shard mutex was released by the
+// deferred unlock (a leaked lock would deadlock the re-sweep), and the store
+// swap left the checker reusable — the post-chaos sweep is bit-identical to a
+// fresh checker's.
+func TestChaosStorePanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	for _, workers := range []int{1, 4} {
+		n, _, _, _ := buildGrid(t)
+		c, err := NewChecker(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Set("core/store", faultinject.Fault{Kind: faultinject.KindPanic, After: 50})
+		_, err = c.Explore(Options{Workers: workers}, nil)
+		faultinject.Clear("core/store")
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+
+		after, err := c.Explore(Options{Workers: workers}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewChecker(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Explore(Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			if after.Stored != want.Stored || after.Transitions != want.Transitions ||
+				after.Popped != want.Popped || after.Deadlocks != want.Deadlocks {
+				t.Errorf("post-chaos sweep %+v differs from fresh checker %+v",
+					after.Stats, want.Stats)
+			}
+		} else if after.Stored < want.Stored {
+			// Parallel sweeps may double-admit, never store fewer.
+			t.Errorf("workers=4: post-chaos stored %d < fresh sequential %d",
+				after.Stored, want.Stored)
+		}
+	}
+}
+
 // TestChaosSlowWorkerStillCancels arms a per-expansion delay (the slow-worker
 // scenario) and requires cooperative cancellation to land promptly anyway:
 // the abort checkpoint sits between expansions, so a slow worker delays the

@@ -11,7 +11,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/dbm"
 	"repro/internal/faultinject"
 )
 
@@ -47,19 +46,25 @@ const abortCheckMask = 31
 // kept an arena of live parent states. The unified engine instead keeps a
 // shared trace arena of per-worker append-only parent logs: when worker w
 // admits a state, it appends one record (parent ref, discrete key,
-// transition label) to its own log and stamps the state with the record's
+// successor index) to its own log and stamps the state with the record's
 // ref (worker index in the high bits, log index in the low bits). Records
-// hold packed transition indices and discrete keys only — NEVER zone
-// pointers or State pointers — so state recycling (succCtx.putState) stays
-// sound and the zone-ownership protocol of store.go is untouched.
+// hold three packed integers only — NEVER zone pointers, State pointers, or
+// label copies — so state recycling (succCtx.putState) stays sound and the
+// zone-ownership protocol of store.go is untouched. The records live in
+// fixed-size segment arrays (logSeg): 20 bytes per admitted state instead
+// of one 80-byte record struct with a retained label, which is what makes
+// always-on trace logging cheap enough for the big sweeps.
 //
 // When a run stops at a state (visitor match or deadlock), the trace is
 // stitched back across the logs: parent refs are followed from the stop
-// record to the root, and the recorded transitions are re-fired from the
-// initial state through the deterministic successor engine, materializing a
-// fresh, caller-owned symbolic state for every step. Replay is exact: each
-// recorded transition was fired from precisely the parent state the replay
-// reconstructs, so the stitched trace is the very path the exploration took.
+// record to the root, and the path is re-fired from the initial state by
+// re-enumerating each parent's successors through the deterministic engine
+// and selecting the recorded index, materializing a fresh, caller-owned
+// symbolic state (and label) for every step. Replay is exact: enumeration
+// order is a pure function of the parent state, each recorded index was
+// captured before any RDFS shuffle, and each parent replayed is bit-identical
+// to the original — so the stitched trace is the very path the exploration
+// took.
 //
 // Log ownership rule: worker w appends only to logs[w] while the run is
 // live; stitch-up happens strictly after the worker barrier (or, for the
@@ -74,24 +79,37 @@ const (
 	noRef int64 = -1
 )
 
-// logRec is one admission record in a parent log.
-type logRec struct {
-	// parent is the ref of the record of the state this one was fired from;
-	// noRef for the initial state.
-	parent int64
-	// key is the discrete key of the admitted state, used as a consistency
-	// check during replay.
-	key uint64
-	// label identifies the fired transition by process/edge indices. Its
-	// Parts are chunk-backed stable copies (succCtx.allocParts), not scratch.
-	label Label
+// logSegShift sizes one parent-log segment: 1024 records per segment keeps
+// the append path at two shifts and a mask while bounding the waste of a
+// short log to one segment.
+const (
+	logSegShift = 10
+	logSegSize  = 1 << logSegShift
+	logSegMask  = logSegSize - 1
+)
+
+// logSeg is one fixed-size block of admission records, stored as parallel
+// arrays: parent refs, discrete keys, and successor indices pack to 20
+// bytes per record with no per-record struct or label retention.
+type logSeg struct {
+	// parents holds the ref of the record each state was fired from; noRef
+	// for the initial state.
+	parents [logSegSize]int64
+	// keys holds the discrete key of each admitted state, used as a
+	// consistency check during replay.
+	keys [logSegSize]uint64
+	// steps holds the index of the fired transition in the parent's
+	// deterministic successor enumeration (succ.idx).
+	steps [logSegSize]int32
 }
 
-// workerLog pads each worker's log header to its own cache line: appends
-// from neighboring workers must not false-share.
+// workerLog is one worker's append-only record log, grown segment by
+// segment. Each worker owns its own header, padded against false sharing
+// with its neighbors.
 type workerLog struct {
-	recs []logRec
-	_    [5]uint64
+	segs []*logSeg
+	n    int
+	_    [4]uint64
 }
 
 // parentLogs is the shared trace arena: one append-only log per worker.
@@ -105,15 +123,25 @@ func newParentLogs(workers int) *parentLogs {
 
 // record appends an admission record to worker w's log and returns its ref.
 // Owner only.
-func (t *parentLogs) record(w int, parent int64, key uint64, label Label) int64 {
-	ref := int64(w)<<refWorkerShift | int64(len(t.logs[w].recs))
-	t.logs[w].recs = append(t.logs[w].recs, logRec{parent: parent, key: key, label: label})
-	return ref
+func (t *parentLogs) record(w int, parent int64, key uint64, step int32) int64 {
+	l := &t.logs[w]
+	i := l.n
+	if i&logSegMask == 0 {
+		l.segs = append(l.segs, &logSeg{})
+	}
+	sg := l.segs[i>>logSegShift]
+	sg.parents[i&logSegMask] = parent
+	sg.keys[i&logSegMask] = key
+	sg.steps[i&logSegMask] = step
+	l.n = i + 1
+	return int64(w)<<refWorkerShift | int64(i)
 }
 
 // at resolves a ref. Only sound after the worker barrier.
-func (t *parentLogs) at(ref int64) logRec {
-	return t.logs[ref>>refWorkerShift].recs[ref&refIndexMask]
+func (t *parentLogs) at(ref int64) (parent int64, key uint64, step int32) {
+	i := int(ref & refIndexMask)
+	sg := t.logs[ref>>refWorkerShift].segs[i>>logSegShift]
+	return sg.parents[i&logSegMask], sg.keys[i&logSegMask], sg.steps[i&logSegMask]
 }
 
 // frontier schedules admitted states between push and expansion. push and
@@ -364,7 +392,9 @@ func (e *explorer) runContained(w int) {
 // accumulate in locals and flush once on exit.
 func (e *explorer) run(w int) {
 	ctx := e.c.eng.newCtx()
-	ctx.keepLabels = e.logs != nil // labels only matter for trace records
+	// Parent-log records hold successor indices, not labels, so the worker
+	// loop never needs stable label copies — replay rebuilds them on demand.
+	ctx.keepLabels = false
 	var shuffle *rand.Rand
 	if e.opts.Order == RDFS {
 		// Worker 0 reproduces the sequential RDFS stream for a given seed.
@@ -390,9 +420,10 @@ func (e *explorer) run(w int) {
 			if e.budget != nil {
 				// Publish this worker's pool allocation and test the global
 				// sum — single-writer stores plus a few loads, only between
-				// expansions, only when a budget is configured.
+				// expansions, only when a budget is configured. The passed
+				// store contributes its actual packed footprint.
 				e.budget.publish(w, ctx.pool)
-				if e.budget.exceeded() {
+				if e.budget.exceeded(e.passed.bytes()) {
 					e.fail(ErrMemoryBudget)
 					return
 				}
@@ -445,7 +476,7 @@ func (e *explorer) run(w int) {
 		}
 		for _, sc := range succs {
 			nTransitions++
-			if !e.passed.add(sc.state, ctx.pool) {
+			if !e.passed.add(sc.state) {
 				// Subsumed: the state is discarded and nothing else
 				// references it, so it is recycled wholesale.
 				ctx.putState(sc.state)
@@ -453,7 +484,7 @@ func (e *explorer) run(w int) {
 			}
 			n := e.stored.Add(1)
 			if e.logs != nil {
-				sc.state.ref = e.logs.record(w, s.ref, sc.state.discreteKey(), sc.label)
+				sc.state.ref = e.logs.record(w, s.ref, sc.state.discreteKey(), sc.idx)
 			}
 			if len(e.queries) > 0 && e.visitAdmitted(w, sc.state) {
 				return
@@ -534,14 +565,19 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 	if parallel {
 		e.passed = newPStore(opts.storeShardCount())
 	} else {
-		e.passed = newStore(nil)
+		e.passed = newStore()
 	}
-	initPool := dbm.NewPool(c.eng.dim)
-	e.passed.add(init, initPool)
+	if opts.passed != nil {
+		// Test hook: a caller-supplied passed set replaces the store, so the
+		// compact-store implementations can be differentially checked against
+		// a reference (store_oracle_test.go).
+		e.passed = opts.passed
+	}
+	e.passed.add(init)
 	e.stored.Store(1)
 	init.ref = noRef
 	if e.logs != nil {
-		init.ref = e.logs.record(0, noRef, init.discreteKey(), Label{})
+		init.ref = e.logs.record(0, noRef, init.discreteKey(), 0)
 	}
 
 	// The initial state is admitted like any other; if it already completes
@@ -628,23 +664,32 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 }
 
 // replayTrace stitches the path to ref back across the per-worker parent
-// logs and re-fires the recorded transitions from the initial state. Every
-// returned TraceStep owns a freshly materialized state (with its zone), so
-// the trace stays valid after the exploration's pools are gone. The replay
-// double-checks each step against the recorded discrete key and fails loudly
-// on any divergence — by construction there is none, since fire is
-// deterministic and each record was produced from exactly the parent state
-// the replay rebuilds.
+// logs and re-fires it from the initial state: each step re-enumerates the
+// parent's successors through the deterministic engine and selects the
+// recorded index. Every returned TraceStep owns a freshly materialized
+// state, zone, and label (chunk-backed Parts stay alive through the Label
+// references after the replay ctx is dropped), so the trace stays valid
+// after the exploration's pools are gone. Sibling successors of each step
+// are recycled into the replay ctx; the selected states are never put back,
+// so their zones are safe to retain. The replay double-checks each step
+// against the recorded discrete key and fails loudly on any divergence — by
+// construction there is none, since enumeration is a pure function of the
+// parent state, indices were captured before any RDFS shuffle, and each
+// replayed parent is bit-identical to the original.
 func (c *Checker) replayTrace(logs *parentLogs, ref int64) ([]TraceStep, error) {
-	var chain []logRec
+	type chainStep struct {
+		key uint64
+		idx int32
+	}
+	var chain []chainStep
 	for r := ref; r != noRef; {
-		rec := logs.at(r)
-		chain = append(chain, rec)
-		r = rec.parent
+		parent, key, idx := logs.at(r)
+		chain = append(chain, chainStep{key, idx})
+		r = parent
 	}
 	slices.Reverse(chain)
 
-	ctx := c.eng.newCtx()
+	ctx := c.eng.newCtx() // keepLabels: replay materializes the labels
 	cur, err := c.eng.initial()
 	if err != nil {
 		return nil, err
@@ -654,20 +699,29 @@ func (c *Checker) replayTrace(logs *parentLogs, ref int64) ([]TraceStep, error) 
 	}
 	steps := make([]TraceStep, 0, len(chain))
 	steps = append(steps, TraceStep{State: cur})
-	for _, rec := range chain[1:] {
-		ns, err := c.eng.fire(ctx, cur, rec.label)
+	var succs []succ
+	for _, st := range chain[1:] {
+		succs, err = c.eng.successors(ctx, cur, succs[:0])
 		if err != nil {
 			return nil, fmt.Errorf("core: internal: trace replay: %w", err)
 		}
-		if ns == nil {
-			return nil, fmt.Errorf("core: internal: trace replay: transition %s not enabled",
-				rec.label.Format(c.net))
+		chosen := -1
+		for i := range succs {
+			if succs[i].idx == st.idx {
+				chosen = i
+			} else {
+				ctx.putState(succs[i].state)
+			}
 		}
-		if ns.discreteKey() != rec.key {
+		if chosen < 0 {
+			return nil, fmt.Errorf("core: internal: trace replay: recorded successor %d not enabled", st.idx)
+		}
+		ns := succs[chosen].state
+		if ns.discreteKey() != st.key {
 			return nil, fmt.Errorf("core: internal: trace replay diverged after %s",
-				rec.label.Format(c.net))
+				succs[chosen].label.Format(c.net))
 		}
-		steps = append(steps, TraceStep{Label: rec.label, State: ns})
+		steps = append(steps, TraceStep{Label: succs[chosen].label, State: ns})
 		cur = ns
 	}
 	return steps, nil

@@ -7,13 +7,14 @@ import (
 	"repro/internal/ta"
 )
 
-// TestStorePrunedZoneRecycledWithoutAliasing is the pool-ownership contract
-// test: the store keeps its own copies of admitted zones, so (a) a pruned
-// stored zone really returns to the pool, and (b) scribbling over a recycled
-// matrix never corrupts a stored zone or a state the explorer still holds.
+// TestStorePrunedZoneRecycledWithoutAliasing is the ownership contract test
+// for the compact store: the store packs its own copies of admitted zones
+// into compact-pool buffers, so (a) a pruned stored zone's buffer really
+// returns to the compact pool and is reused for the next admission, and
+// (b) the packed copy never aliases the state's full zone — mutating one
+// never corrupts the other.
 func TestStorePrunedZoneRecycledWithoutAliasing(t *testing.T) {
-	pool := dbm.NewPool(2)
-	st := newStore(pool)
+	st := newStore()
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 
@@ -21,47 +22,35 @@ func TestStorePrunedZoneRecycledWithoutAliasing(t *testing.T) {
 	if !st.Add(small) {
 		t.Fatal("first zone must be admitted")
 	}
-	// The store must have copied, not aliased, small.Zone.
-	gets0, _ := pool.Stats()
+	// The store must have packed its own buffer for small.Zone.
+	gets0, _ := st.cpool.Stats()
 	if gets0 == 0 {
-		t.Fatal("admission must draw the stored copy from the pool")
+		t.Fatal("admission must draw the packed copy from the compact pool")
 	}
 
 	big := mkState(locs, vars, 20)
 	if !st.Add(big) {
 		t.Fatal("covering zone must be admitted")
 	}
-	// small's stored copy was pruned and released inside Add, and the copy
-	// of big's zone must have reused it — recycling closes the loop within
-	// a single Add.
-	if _, reuses := pool.Stats(); reuses == 0 {
-		t.Fatal("pruned stored zone must be reused for the next stored copy")
+	// small's packed copy was pruned and released inside Add, and the pack
+	// of big's zone (same size class) must have reused its buffer —
+	// recycling closes the loop within a single Add.
+	if _, reuses := st.cpool.Stats(); reuses == 0 {
+		t.Fatal("pruned stored zone buffer must be reused for the next packed copy")
 	}
 
-	// Now play the explorer discarding a subsumed state: release its zone,
-	// get it back recycled, and scribble over it.
-	if st.Add(small) {
-		t.Fatal("x<=10 must be subsumed by the stored x<=20")
-	}
-	pool.Put(small.Zone)
-	_, reusesBefore := pool.Stats()
-	recycled := pool.Get()
-	if _, reuses := pool.Stats(); reuses != reusesBefore+1 {
-		t.Fatal("released state zone must be reusable from the pool")
-	}
-	if recycled != small.Zone {
-		t.Fatal("expected the released matrix back from the free list")
-	}
-	recycled.SetInit()
-	recycled.Up()
-	recycled.Constrain(1, 0, dbm.LE(999))
-
-	// The state the "explorer" still owns must be intact...
+	// The caller-owned full zones stay untouched by admission, pruning and
+	// buffer recycling...
 	if big.Zone.Sup(1) != dbm.LE(20) {
 		t.Errorf("caller-owned zone mutated: sup=%v, want <=20", big.Zone.Sup(1))
 	}
-	// ...and so must the stored zone: x<=20 still subsumes x<=15, and
-	// x<=25 is still new.
+	if small.Zone.Sup(1) != dbm.LE(10) {
+		t.Errorf("caller-owned zone mutated: sup=%v, want <=10", small.Zone.Sup(1))
+	}
+	// ...and scribbling over them cannot reach the store's packed copies:
+	// x<=20 still subsumes x<=15, and x<=25 is still new.
+	big.Zone.SetInit()
+	small.Zone.SetInit()
 	if st.Add(mkState(locs, vars, 15)) {
 		t.Error("stored zone corrupted: x<=15 no longer subsumed")
 	}
@@ -74,8 +63,7 @@ func TestStorePrunedZoneRecycledWithoutAliasing(t *testing.T) {
 // contract: mutating a state's zone after admission must not change what
 // the store believes, because the store owns an independent copy.
 func TestAddDoesNotRetainCallerZone(t *testing.T) {
-	pool := dbm.NewPool(2)
-	st := newStore(pool)
+	st := newStore()
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 

@@ -25,6 +25,15 @@ type Progress struct {
 	// Frontier is the current backlog: states admitted but not yet fully
 	// expanded. Zero once the run is over.
 	Frontier int64
+	// StoredBytes is the passed store's actual footprint: packed zone
+	// buffers plus interned discrete vectors (see store.go).
+	StoredBytes int64
+	// InternHits and InternMisses count discrete-vector intern-table
+	// lookups that found (resp. created) a shared vector; the hit rate
+	// hits/(hits+misses) measures how much discrete-state memory the
+	// interning collapsed.
+	InternHits   int64
+	InternMisses int64
 	// Workers is the worker count of the observed run.
 	Workers int
 	// Running reports whether the observed exploration is still going. While
@@ -75,6 +84,10 @@ func (v *monView) setDone() {
 		Transitions: e.transitions.Load(),
 		Deadlocks:   e.deadlocks.Load(),
 	}
+	if e.passed != nil {
+		p.StoredBytes = e.passed.bytes()
+		p.InternHits, p.InternMisses = e.passed.internStats()
+	}
 	v.final.Store(&p)
 	v.e.Store(nil)
 }
@@ -119,6 +132,10 @@ func (m *Monitor) Snapshot() Progress {
 		return Progress{}
 	}
 	p := Progress{Workers: len(v.cells), Stored: e.stored.Load(), Running: true}
+	if e.passed != nil {
+		p.StoredBytes = e.passed.bytes()
+		p.InternHits, p.InternMisses = e.passed.internStats()
+	}
 	for i := range v.cells {
 		c := &v.cells[i]
 		p.Popped += c.popped.Load()

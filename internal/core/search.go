@@ -114,6 +114,11 @@ type Options struct {
 	// they never request a trace (MaxVar). Zero value keeps logging on
 	// whenever a query or StopAtDeadlock could stop the run with a trace.
 	noTrace bool
+	// passed, when non-nil, replaces the run's passed-state store. Test-only:
+	// the compact-store oracle injects a full-DBM reference implementation to
+	// differentially check admission (store_oracle_test.go). Must be safe for
+	// concurrent use when Workers > 1.
+	passed passedSet
 }
 
 const (

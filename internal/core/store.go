@@ -5,17 +5,23 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dbm"
+	"repro/internal/faultinject"
 	"repro/internal/ta"
 )
 
 // passedSet is the passed-state interface of the unified explorer: the
 // sequential store and the sharded pstore implement the same admission
-// protocol, and the worker loop only ever talks to this. pool is the calling
-// worker's pool — the stored copy is drawn from it and pruned zones are
-// released into it.
+// protocol, and the worker loop only ever talks to this. bytes and
+// internStats are live views for the memory budget and progress monitor;
+// both are safe to call from other goroutines while workers add.
 type passedSet interface {
-	add(s *State, pool *dbm.Pool) bool
+	add(s *State) bool
 	size() int
+	// bytes reports the actual stored footprint: packed zone buffers plus
+	// interned discrete vectors.
+	bytes() int64
+	// internStats reports discrete-vector intern-table hits and misses.
+	internStats() (hits, misses int64)
 }
 
 // store is the passed-state list: per discrete state (location vector plus
@@ -28,139 +34,153 @@ type passedSet interface {
 // # Zone ownership
 //
 // The store NEVER aliases the zone of an admitted state: on admission it
-// keeps its own pool-backed copy. This is what makes recycling sound — a
+// packs its own compact copy (dbm.EncodeCompact into a buffer from the
+// store-owned dbm.CompactPool). This is what makes recycling sound — a
 // pruned (subsumed) stored zone is referenced by nothing but the store and
-// can be released back into the pool immediately, even while the pruned
-// state is still sitting in a waiting list or arena with its own zone. The
-// full protocol:
+// its buffer can be released back into the compact pool immediately, even
+// while the pruned state is still sitting in a waiting list or arena with
+// its own zone. The full protocol:
 //
 //   - engine.fire produces states whose zones come from the worker's pool;
 //     the state owns its zone.
-//   - store.Add(s) copies s.Zone on admission (pool-backed); s keeps
-//     ownership of its own zone.
-//   - If Add reports false (subsumed), the caller releases s.Zone — the
+//   - store.add(s) packs s.Zone on admission into a compact-pool buffer;
+//     s keeps ownership of its own (full) zone.
+//   - If add reports false (subsumed), the caller releases s.Zone — the
 //     state is about to be discarded and nothing else references it.
-//   - Pruned stored copies are released into the pool inside Add.
+//   - Pruned compact copies are released into the compact pool inside add.
 //
-// Store entries own packed copies of the discrete vectors (see packDisc),
-// never aliases of a state's slices — states recycle, entries do not.
+// Inclusion tests run directly against the packed form (dbm.Compact
+// ContainsDBM/SubsetEqDBM) behind a constant-time inclusion-score
+// pre-filter, so admission never decodes a stored zone. The worker-side
+// succCtx scratch and dbm.Pool recycling are untouched: compression lives
+// entirely behind the admission boundary.
+//
+// Store entries intern their discrete vectors (see internTable): location
+// vectors and variable valuations repeat heavily across entries, so each
+// unique vector is stored once per store — never an alias of a state's
+// slices, since states recycle and entries do not.
 type store struct {
 	buckets map[uint64][]*storeEntry
 	zones   int
-	pool    *dbm.Pool // nil disables copying and recycling (zones are aliased)
+	cpool   *dbm.CompactPool
+	intern  internTable
+	// zoneBytes tracks the packed bytes currently stored; atomic because a
+	// Monitor samples bytes() while the (single) worker adds.
+	zoneBytes atomic.Int64
 }
 
 type storeEntry struct {
 	// key caches the discrete hash so rehashing or resizing the bucket
 	// structure never recomputes it.
 	key uint64
-	// disc packs the location vector followed by the variable valuation
-	// into one owned slice: one allocation per discrete state and one
-	// slices.Equal-style scan per lookup.
-	disc  []uint64
-	zones []*dbm.DBM
-}
-
-// packDisc flattens (locs, vars) into a fresh entry-owned key slice.
-func packDisc(locs []ta.LocID, vars []int64) []uint64 {
-	disc := make([]uint64, 0, len(locs)+len(vars))
-	for _, l := range locs {
-		disc = append(disc, uint64(l))
-	}
-	for _, v := range vars {
-		disc = append(disc, uint64(v))
-	}
-	return disc
+	// locs and vrs are the interned location vector and variable valuation:
+	// shared with every other entry (and log, in principle) holding the same
+	// vector, owned by the store's intern table, immutable once published.
+	locs []uint64
+	vrs  []uint64
+	// zones holds the maximal zones in packed form; the buffers are owned by
+	// the store and recycle through its compact pool on prune.
+	zones []dbm.Compact
 }
 
 // matches reports whether the entry represents the discrete state (locs,
 // vars) whose cached hash is key: one integer compare, then one
 // slices.Equal-style scan.
 func (e *storeEntry) matches(key uint64, locs []ta.LocID, vars []int64) bool {
-	if e.key != key || len(e.disc) != len(locs)+len(vars) {
+	if e.key != key || len(e.locs) != len(locs) || len(e.vrs) != len(vars) {
 		return false
 	}
 	for i, l := range locs {
-		if e.disc[i] != uint64(l) {
+		if e.locs[i] != uint64(l) {
 			return false
 		}
 	}
-	d := e.disc[len(locs):]
 	for i, v := range vars {
-		if d[i] != uint64(v) {
+		if e.vrs[i] != uint64(v) {
 			return false
 		}
 	}
 	return true
 }
 
-func newStore(pool *dbm.Pool) *store {
-	return &store{buckets: make(map[uint64][]*storeEntry), pool: pool}
+func newStore() *store {
+	st := &store{buckets: make(map[uint64][]*storeEntry), cpool: dbm.NewCompactPool()}
+	st.intern.init()
+	return st
 }
 
 // lookupEntry finds or creates the bucket entry for s's discrete state.
-func lookupEntry(buckets map[uint64][]*storeEntry, s *State) *storeEntry {
+// Entry creation interns the discrete vectors through it: repeats across
+// entries collapse to one shared slice each, and states stay recyclable
+// (succCtx.putState) because the interned copies never alias s.
+func lookupEntry(buckets map[uint64][]*storeEntry, s *State, it *internTable) *storeEntry {
 	h := s.discreteKey()
 	for _, e := range buckets[h] {
 		if e.matches(h, s.Locs, s.Vars) {
 			return e
 		}
 	}
-	// The entry owns its packed key material: states are recyclable
-	// (succCtx.putState), so aliasing s here would let a reused state
-	// rewrite the entry's key in place. Entry creation happens once per
-	// discrete state, so the copy cost is negligible.
-	e := &storeEntry{key: h, disc: packDisc(s.Locs, s.Vars)}
+	e := &storeEntry{key: h, locs: it.internLocs(s.Locs), vrs: it.internVars(s.Vars)}
 	buckets[h] = append(buckets[h], e)
 	return e
 }
 
 // admit implements the subsumption protocol on one entry: reject s if a
 // stored zone includes it, otherwise prune stored zones covered by it
-// (releasing them into pool) and store a pool-backed copy of s.Zone. It
-// returns the change in the number of stored zones, or 0 when s was
-// subsumed (any admission nets at least +1 minus prunes). The caller must
-// hold whatever lock guards the entry; pool may be nil to disable copying
-// and recycling (zones are then aliased).
-func (e *storeEntry) admit(s *State, pool *dbm.Pool) (delta int, admitted bool) {
+// (recycling their buffers into pool) and store a packed copy of s.Zone.
+// It returns the change in the number of stored zones (0 when s was
+// subsumed; any admission nets at least +1 minus prunes) and the change in
+// stored bytes. The caller must hold whatever lock guards the entry.
+//
+// Both inclusion directions are pre-filtered by the monotone inclusion
+// score: d ⊆ z forces score(d) ≤ score(z), so most non-inclusions cost one
+// integer compare against the packed header instead of a dim² scan.
+func (e *storeEntry) admit(s *State, pool *dbm.CompactPool) (delta int, bytesDelta int64, admitted bool) {
+	if faultinject.Enabled {
+		// Chaos site inside compact admission: an injected error escalates to
+		// a panic so containment takes the exact path a real encoder or
+		// inclusion-scan crash would — explorer.runContained for the worker,
+		// the deferred unlock for a pstore shard.
+		if err := faultinject.Fire("core/store"); err != nil {
+			panic(err)
+		}
+	}
+	score := dbm.InclusionScore(s.Zone)
 	// First pass: pure subsumption check, no mutation.
 	for _, z := range e.zones {
-		if s.Zone.SubsetEq(z) {
-			return 0, false
+		if score <= z.Score() && z.ContainsDBM(s.Zone) {
+			return 0, 0, false
 		}
 	}
 	// Second pass: prune stored zones covered by the new one, recycling them.
 	keep := e.zones[:0]
 	for _, z := range e.zones {
-		if !z.SubsetEq(s.Zone) {
-			keep = append(keep, z)
-		} else {
+		if z.Score() <= score && z.SubsetEqDBM(s.Zone) {
 			delta--
-			if pool != nil {
-				pool.Put(z)
-			}
+			bytesDelta -= int64(len(z))
+			pool.Put(z)
+		} else {
+			keep = append(keep, z)
 		}
 	}
-	stored := s.Zone
-	if pool != nil {
-		stored = pool.GetCopy(s.Zone)
-	}
-	e.zones = append(keep, stored)
-	return delta + 1, true
+	c := dbm.EncodeCompact(s.Zone, pool)
+	e.zones = append(keep, c)
+	return delta + 1, bytesDelta + int64(len(c)), true
 }
 
-// add inserts the state unless it is subsumed, reporting whether it is new;
-// the stored copy is drawn from pool and pruned zones are released into it.
+// add inserts the state unless it is subsumed, reporting whether it is new.
 // See the type comment for the zone-ownership protocol.
-func (st *store) add(s *State, pool *dbm.Pool) bool {
-	delta, admitted := lookupEntry(st.buckets, s).admit(s, pool)
+func (st *store) add(s *State) bool {
+	delta, bytesDelta, admitted := lookupEntry(st.buckets, s, &st.intern).admit(s, st.cpool)
 	st.zones += delta
+	if bytesDelta != 0 {
+		st.zoneBytes.Add(bytesDelta)
+	}
 	return admitted
 }
 
-// Add is the single-pool convenience form of add, using the pool the store
-// was constructed with.
-func (st *store) Add(s *State) bool { return st.add(s, st.pool) }
+// Add is an alias of add kept for test readability.
+func (st *store) Add(s *State) bool { return st.add(s) }
 
 // size returns the number of stored maximal zones.
 func (st *store) size() int { return st.zones }
@@ -168,17 +188,112 @@ func (st *store) size() int { return st.zones }
 // Len returns the number of stored maximal zones.
 func (st *store) Len() int { return st.zones }
 
+// bytes returns the stored footprint: packed zones plus interned vectors.
+func (st *store) bytes() int64 { return st.zoneBytes.Load() + st.intern.bytes.Load() }
+
+func (st *store) internStats() (hits, misses int64) {
+	return st.intern.hits.Load(), st.intern.misses.Load()
+}
+
+// internTable deduplicates the discrete vectors held by store entries:
+// location vectors and variable valuations are interned separately (each
+// repeats across many entries even though their combination is unique per
+// entry), content-addressed by a word-wise hash with full collision
+// comparison. Lookups and inserts happen under the owning store's/shard's
+// lock; the counters are atomics because the Monitor and the memory budget
+// read them while workers add.
+type internTable struct {
+	m      map[uint64][][]uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+	bytes  atomic.Int64
+}
+
+func (t *internTable) init() { t.m = make(map[uint64][][]uint64) }
+
+const (
+	internOffset = 14695981039346656037
+	internPrime  = 0x9E3779B97F4A7C15
+)
+
+// internLocs returns the canonical interned copy of a location vector,
+// allocating only on first sight of the content.
+func (t *internTable) internLocs(locs []ta.LocID) []uint64 {
+	h := uint64(internOffset) ^ uint64(len(locs))
+	for _, l := range locs {
+		h = (h ^ uint64(l)) * internPrime
+	}
+	for _, cand := range t.m[h] {
+		if len(cand) != len(locs) {
+			continue
+		}
+		eq := true
+		for i, l := range locs {
+			if cand[i] != uint64(l) {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			t.hits.Add(1)
+			return cand
+		}
+	}
+	v := make([]uint64, len(locs))
+	for i, l := range locs {
+		v[i] = uint64(l)
+	}
+	t.m[h] = append(t.m[h], v)
+	t.misses.Add(1)
+	t.bytes.Add(int64(len(v)) * 8)
+	return v
+}
+
+// internVars is internLocs for variable valuations.
+func (t *internTable) internVars(vars []int64) []uint64 {
+	h := uint64(internOffset) ^ uint64(len(vars))
+	for _, x := range vars {
+		h = (h ^ uint64(x)) * internPrime
+	}
+	for _, cand := range t.m[h] {
+		if len(cand) != len(vars) {
+			continue
+		}
+		eq := true
+		for i, x := range vars {
+			if cand[i] != uint64(x) {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			t.hits.Add(1)
+			return cand
+		}
+	}
+	v := make([]uint64, len(vars))
+	for i, x := range vars {
+		v[i] = uint64(x)
+	}
+	t.m[h] = append(t.m[h], v)
+	t.misses.Add(1)
+	t.bytes.Add(int64(len(v)) * 8)
+	return v
+}
+
 // pstore is the concurrent passed-state store of the parallel frontier: the
 // bucket space is sharded and each shard carries its own lock, so workers
 // exploring disjoint regions of the zone graph rarely contend. Zone
 // ownership follows the same protocol as the sequential store (see the store
-// type comment): stored zones are pool-backed copies owned exclusively by
-// the pstore, so pruned zones can be recycled into the calling worker's pool
-// even while the pruned state is still queued in some deque.
+// type comment): stored zones are packed copies owned exclusively by the
+// pstore. Each shard owns its own compact pool and intern table, used only
+// under the shard lock — a discrete state always hashes to the same shard,
+// so repeats of its vectors intern within that shard.
 type pstore struct {
-	shards []pshard
-	mask   uint64 // len(shards)-1; the count is a power of two
-	zones  atomic.Int64
+	shards    []pshard
+	mask      uint64 // len(shards)-1; the count is a power of two
+	zones     atomic.Int64
+	zoneBytes atomic.Int64
 }
 
 // pshard is one lock shard, padded to its own cache line against false
@@ -186,6 +301,8 @@ type pstore struct {
 type pshard struct {
 	mu      sync.Mutex
 	buckets map[uint64][]*storeEntry
+	cpool   *dbm.CompactPool
+	intern  internTable
 	_       [48]byte
 }
 
@@ -195,16 +312,17 @@ func newPStore(shards int) *pstore {
 	st := &pstore{shards: make([]pshard, shards), mask: uint64(shards - 1)}
 	for i := range st.shards {
 		st.shards[i].buckets = make(map[uint64][]*storeEntry)
+		st.shards[i].cpool = dbm.NewCompactPool()
+		st.shards[i].intern.init()
 	}
 	return st
 }
 
 // add inserts the state unless it is subsumed, reporting whether it is new.
-// The subsumption logic mirrors store.add under the shard lock. pool is the
-// calling worker's pool: the stored copy is drawn from it and pruned zones
-// are released into it (pools are single-owner, so this is safe even though
-// the shard lock is shared).
-func (st *pstore) add(s *State, pool *dbm.Pool) bool {
+// The subsumption logic mirrors store.add under the shard lock; the packed
+// copy is drawn from the shard's compact pool and pruned zones are released
+// into it.
+func (st *pstore) add(s *State) bool {
 	sh := &st.shards[s.discreteKey()&st.mask]
 	// The unlock is deferred so a panic inside the admission (contained per
 	// worker by explorer.runContained) releases the shard instead of hanging
@@ -214,12 +332,32 @@ func (st *pstore) add(s *State, pool *dbm.Pool) bool {
 	// stop flag — and the store, like the pools, dies with the run.
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	delta, admitted := lookupEntry(sh.buckets, s).admit(s, pool)
+	delta, bytesDelta, admitted := lookupEntry(sh.buckets, s, &sh.intern).admit(s, sh.cpool)
 	if delta != 0 {
 		st.zones.Add(int64(delta))
+	}
+	if bytesDelta != 0 {
+		st.zoneBytes.Add(bytesDelta)
 	}
 	return admitted
 }
 
 // size returns the number of stored maximal zones.
 func (st *pstore) size() int { return int(st.zones.Load()) }
+
+// bytes returns the stored footprint: packed zones plus interned vectors.
+func (st *pstore) bytes() int64 {
+	total := st.zoneBytes.Load()
+	for i := range st.shards {
+		total += st.shards[i].intern.bytes.Load()
+	}
+	return total
+}
+
+func (st *pstore) internStats() (hits, misses int64) {
+	for i := range st.shards {
+		hits += st.shards[i].intern.hits.Load()
+		misses += st.shards[i].intern.misses.Load()
+	}
+	return hits, misses
+}

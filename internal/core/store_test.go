@@ -15,7 +15,7 @@ func mkState(locs []ta.LocID, vars []int64, hi int64) *State {
 }
 
 func TestStoreSubsumption(t *testing.T) {
-	st := newStore(dbm.NewPool(2))
+	st := newStore()
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 	if !st.Add(mkState(locs, vars, 10)) {
@@ -37,7 +37,7 @@ func TestStoreSubsumption(t *testing.T) {
 }
 
 func TestStoreDistinguishesDiscreteParts(t *testing.T) {
-	st := newStore(dbm.NewPool(2))
+	st := newStore()
 	if !st.Add(mkState([]ta.LocID{0}, []int64{0}, 10)) ||
 		!st.Add(mkState([]ta.LocID{1}, []int64{0}, 10)) ||
 		!st.Add(mkState([]ta.LocID{0}, []int64{1}, 10)) {
@@ -49,7 +49,7 @@ func TestStoreDistinguishesDiscreteParts(t *testing.T) {
 }
 
 func TestStoreIncomparableZonesCoexist(t *testing.T) {
-	st := newStore(dbm.NewPool(2))
+	st := newStore()
 	locs := []ta.LocID{0}
 	vars := []int64{0}
 	// x <= 10 and x >= 5 (upper bound infinity) are incomparable.
@@ -65,7 +65,7 @@ func TestStoreIncomparableZonesCoexist(t *testing.T) {
 }
 
 func TestPStoreMatchesStore(t *testing.T) {
-	seq := newStore(dbm.NewPool(2))
+	seq := newStore()
 	par := newPStore(64)
 	states := []*State{
 		mkState([]ta.LocID{0}, []int64{0}, 10),
@@ -76,12 +76,83 @@ func TestPStoreMatchesStore(t *testing.T) {
 	}
 	for i, s := range states {
 		a := seq.Add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
-		b := par.add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()}, dbm.NewPool(2))
+		b := par.add(&State{Locs: s.Locs, Vars: s.Vars, Zone: s.Zone.Copy()})
 		if a != b {
 			t.Errorf("state %d: sequential add=%v parallel add=%v", i, a, b)
 		}
 	}
 	if seq.size() != par.size() {
 		t.Errorf("zone counts differ: %d vs %d", seq.size(), par.size())
+	}
+	// Packed zone bytes agree exactly; intern bytes may differ (the pstore
+	// interns per shard, so cross-shard repeats are stored once per shard).
+	if seq.zoneBytes.Load() != par.zoneBytes.Load() {
+		t.Errorf("packed zone bytes differ: %d vs %d", seq.zoneBytes.Load(), par.zoneBytes.Load())
+	}
+	if seq.bytes() <= 0 || par.bytes() < seq.bytes() {
+		t.Errorf("stored bytes implausible: seq %d, par %d", seq.bytes(), par.bytes())
+	}
+}
+
+// TestStoreTracksStoredBytes pins the actual-footprint accounting: bytes()
+// must grow on admission, shrink when a covering zone prunes a stored one,
+// and stay put on subsumption.
+func TestStoreTracksStoredBytes(t *testing.T) {
+	st := newStore()
+	// Distinct contents so the locs and vars vectors intern separately (the
+	// table is content-addressed across both kinds).
+	locs := []ta.LocID{3}
+	vars := []int64{0}
+	if st.bytes() != 0 {
+		t.Fatalf("empty store bytes = %d, want 0", st.bytes())
+	}
+	st.Add(mkState(locs, vars, 10))
+	after1 := st.bytes()
+	if after1 <= 0 {
+		t.Fatalf("bytes after one admission = %d, want > 0", after1)
+	}
+	// dim 2 zones fit the 16-bit width: 16-byte header + 4 bounds × 2 bytes,
+	// plus the two interned vectors (one word each).
+	if want := int64(16+4*2) + 16; after1 != want {
+		t.Errorf("bytes after one admission = %d, want %d", after1, want)
+	}
+	st.Add(mkState(locs, vars, 5)) // subsumed
+	if st.bytes() != after1 {
+		t.Errorf("bytes changed on subsumed add: %d -> %d", after1, st.bytes())
+	}
+	st.Add(mkState(locs, vars, 20)) // prunes the x<=10 zone
+	if st.bytes() != after1 {
+		t.Errorf("bytes after prune+admit = %d, want %d (same-size swap)", st.bytes(), after1)
+	}
+}
+
+// TestStoreInternsDiscreteVectors pins the intern table: repeats of a
+// location vector or variable valuation across distinct discrete states must
+// collapse to one shared slice each.
+func TestStoreInternsDiscreteVectors(t *testing.T) {
+	st := newStore()
+	// Same locs, three different vars: locs interned once, hit twice.
+	st.Add(mkState([]ta.LocID{7}, []int64{0}, 10))
+	st.Add(mkState([]ta.LocID{7}, []int64{1}, 10))
+	st.Add(mkState([]ta.LocID{7}, []int64{2}, 10))
+	hits, misses := st.internStats()
+	if hits != 2 {
+		t.Errorf("intern hits = %d, want 2 (repeated location vector)", hits)
+	}
+	// Misses: locs{7}, vars{0}, vars{1}, vars{2}.
+	if misses != 4 {
+		t.Errorf("intern misses = %d, want 4", misses)
+	}
+	var entries []*storeEntry
+	for _, b := range st.buckets {
+		entries = append(entries, b...)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	for _, e := range entries[1:] {
+		if &e.locs[0] != &entries[0].locs[0] {
+			t.Error("repeated location vectors not shared between entries")
+		}
 	}
 }

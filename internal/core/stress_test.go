@@ -38,7 +38,6 @@ func TestPStoreConcurrentSubsumingAdds(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			pool := dbm.NewPool(2)
 			for c := 0; c < chains; c++ {
 				for s := 0; s <= depth; s++ {
 					// Interleave chain walk directions per worker so
@@ -47,20 +46,23 @@ func TestPStoreConcurrentSubsumingAdds(t *testing.T) {
 					if w%2 == 1 {
 						step = depth - s
 					}
-					st.add(&State{Locs: locs, Vars: vars, Zone: mkZone(c, step)}, pool)
+					st.add(&State{Locs: locs, Vars: vars, Zone: mkZone(c, step)})
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	// Collect the surviving zones for the single discrete entry.
+	// Collect the surviving zones for the single discrete entry, decoding
+	// the packed form back into full DBMs for the inclusion checks.
 	var zones []*dbm.DBM
 	for i := range st.shards {
 		st.shards[i].mu.Lock()
 		for _, bucket := range st.shards[i].buckets {
 			for _, e := range bucket {
-				zones = append(zones, e.zones...)
+				for _, z := range e.zones {
+					zones = append(zones, z.Decode())
+				}
 			}
 		}
 		st.shards[i].mu.Unlock()

@@ -161,10 +161,14 @@ func (e *engine) initial() (*State, error) {
 }
 
 // succ is one symbolic successor together with the transition that
-// produced it.
+// produced it and its index in the deterministic enumeration order of
+// successors (before any RDFS shuffle). Parent-log records keep only this
+// index — replay re-enumerates the parent's successors and selects by it,
+// so logs never need label copies.
 type succ struct {
 	label Label
 	state *State
+	idx   int32
 }
 
 // successors appends every symbolic action successor of s to out. Delay is
@@ -193,6 +197,7 @@ func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) 
 		return false
 	}
 
+	base := len(out)
 	var err error
 	try := func(label Label) {
 		if err != nil || !committedOK(label.Parts) {
@@ -206,7 +211,7 @@ func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) 
 			} else {
 				label.Parts = nil // scratch-backed; caller discards labels
 			}
-			out = append(out, succ{label, ns})
+			out = append(out, succ{label, ns, int32(len(out) - base)})
 		}
 	}
 

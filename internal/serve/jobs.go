@@ -416,6 +416,31 @@ func (m *jobManager) get(id string) *job {
 	return m.jobs[id]
 }
 
+// storedFootprint sums the live explorations' actual passed-store footprint:
+// packed zone bytes plus interned discrete vectors, and the intern hit/miss
+// totals, across every non-terminal job. Terminal jobs are skipped — their
+// stores are already unreachable and collected; counting them would report
+// memory the process no longer holds. Snapshots are taken outside m.mu (a
+// Monitor sums per-worker counters) so a slow sample never blocks submission.
+func (m *jobManager) storedFootprint() (bytes, hits, misses int64) {
+	m.mu.Lock()
+	live := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		live = append(live, j)
+	}
+	m.mu.Unlock()
+	for _, j := range live {
+		if j.terminal() {
+			continue
+		}
+		p := j.mon.Snapshot()
+		bytes += p.StoredBytes
+		hits += p.InternHits
+		misses += p.InternMisses
+	}
+	return bytes, hits, misses
+}
+
 // counts reports active (queued+running) and retained terminal jobs.
 func (m *jobManager) counts() (active, retained int) {
 	m.mu.Lock()

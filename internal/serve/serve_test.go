@@ -283,6 +283,14 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if h["ok"] != true || h["cpu_tokens"] != float64(3) {
 		t.Errorf("healthz: %s", body)
 	}
+	// The memory-footprint fields are always present; with the only job
+	// finished, the live-store footprint is zero.
+	if h["stored_zone_bytes"] != float64(0) {
+		t.Errorf("healthz stored_zone_bytes = %v, want 0 after the job finished", h["stored_zone_bytes"])
+	}
+	if _, ok := h["intern_hit_rate"]; !ok {
+		t.Errorf("healthz missing intern_hit_rate: %s", body)
+	}
 	code, body = getBody(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
@@ -292,6 +300,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"taserved_explorations_total 1",
 		"taserved_cpu_tokens_total 3",
 		"taserved_cpu_tokens_in_use 0",
+		"taserved_stored_zone_bytes 0",
+		"taserved_intern_hits_total 0",
+		"taserved_intern_misses_total 0",
 	} {
 		if !bytes.Contains(body, []byte(metric)) {
 			t.Errorf("metrics missing %q:\n%s", metric, body)

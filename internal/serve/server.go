@@ -283,6 +283,13 @@ type ProgressBody struct {
 	Frontier    int64 `json:"frontier"`
 	Workers     int   `json:"workers"`
 	Running     bool  `json:"running"`
+	// StoredBytes is the passed store's actual resident footprint: packed
+	// zone bytes plus interned discrete vectors.
+	StoredBytes int64 `json:"stored_bytes"`
+	// InternHits / InternMisses count discrete-vector intern lookups; the hit
+	// rate is the store's discrete-part sharing factor.
+	InternHits   int64 `json:"intern_hits"`
+	InternMisses int64 `json:"intern_misses"`
 }
 
 // jobSpec is the normalized submission — the hashed content. Field order and
@@ -808,13 +815,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Error:       errMsg,
 		SubmittedAt: j.submitted,
 		Progress: ProgressBody{
-			Stored:      p.Stored,
-			Popped:      p.Popped,
-			Transitions: p.Transitions,
-			Deadlocks:   p.Deadlocks,
-			Frontier:    p.Frontier,
-			Workers:     p.Workers,
-			Running:     p.Running,
+			Stored:       p.Stored,
+			Popped:       p.Popped,
+			Transitions:  p.Transitions,
+			Deadlocks:    p.Deadlocks,
+			Frontier:     p.Frontier,
+			Workers:      p.Workers,
+			Running:      p.Running,
+			StoredBytes:  p.StoredBytes,
+			InternHits:   p.InternHits,
+			InternMisses: p.InternMisses,
 		},
 	}
 	if !started.IsZero() {
@@ -903,6 +913,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if c.Submissions > 0 {
 		hitRate = float64(c.ResultHits) / float64(c.Submissions)
 	}
+	storedBytes, ihits, imisses := s.jobs.storedFootprint()
+	internRate := 0.0
+	if ihits+imisses > 0 {
+		internRate = float64(ihits) / float64(ihits+imisses)
+	}
 	body := map[string]any{
 		"ok":                    !degraded,
 		"degraded":              degraded,
@@ -916,11 +931,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"cpu_saturation":        float64(inUse) / float64(s.cfg.CPUTokens),
 		"memory_budget_bytes":   s.cfg.MemoryBudget,
 		"memory_in_use_bytes":   s.tokens.bytesInUse(),
+		"stored_zone_bytes":     storedBytes,
+		"intern_hit_rate":       internRate,
 		"shed_total":            c.Shed,
 		"result_cache_hit_rate": hitRate,
 	}
 	if s.cfg.MemoryBudget > 0 {
-		body["memory_saturation"] = float64(s.tokens.bytesInUse()) / float64(s.cfg.MemoryBudget)
+		// Saturation takes the worse of the two memory views: granted
+		// admission bytes (what jobs reserved) and the live stores' actual
+		// packed footprint (what is resident right now). Granted normally
+		// dominates — compact zones keep actual use under the grant — so a
+		// stored-bytes overtake means the budget accounting is drifting and
+		// the node should shed before the kernel notices.
+		used := s.tokens.bytesInUse()
+		if storedBytes > used {
+			used = storedBytes
+		}
+		body["memory_saturation"] = float64(used) / float64(s.cfg.MemoryBudget)
 	}
 	status := http.StatusOK
 	if degraded {
@@ -952,5 +979,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "taserved_admission_queue_depth %d\n", s.tokens.waiting())
 	fmt.Fprintf(w, "taserved_memory_budget_bytes %d\n", s.cfg.MemoryBudget)
 	fmt.Fprintf(w, "taserved_memory_in_use_bytes %d\n", s.tokens.bytesInUse())
+	storedBytes, ihits, imisses := s.jobs.storedFootprint()
+	fmt.Fprintf(w, "taserved_stored_zone_bytes %d\n", storedBytes)
+	fmt.Fprintf(w, "taserved_intern_hits_total %d\n", ihits)
+	fmt.Fprintf(w, "taserved_intern_misses_total %d\n", imisses)
 	fmt.Fprintf(w, "taserved_shed_total %d\n", c.Shed)
 }

@@ -11,6 +11,10 @@
 //     to refresh the baseline. Benchmarks whose compile phase makes the count
 //     wobble by a few (map iteration order) carry a small explicit
 //     allocs_slack in the baseline instead of loosening the whole gate.
+//   - B/op is a NEAR-EXACT ceiling (bytes_op + bytes_slack) on entries that
+//     set bytes_op: stored-zone compression is a headline number of this
+//     repo, so a memory regression must fail CI like an alloc leak does. The
+//     small slack absorbs size-class rounding and compile-phase map wobble.
 //   - ns/op is a GENEROUS ceiling: baseline × -ns-factor (default 4). Shared
 //     runners are noisy, so only catastrophic slowdowns (accidental O(n³)
 //     re-closure, lost pooling) should trip it.
@@ -53,6 +57,12 @@ type baselineEntry struct {
 	// at least one allocation per stored state, thousands here, so a slack
 	// of a few dozen keeps the gate meaningful.
 	AllocsSlack float64 `json:"allocs_slack,omitempty"`
+	// BytesOp, when nonzero, gates B/op as a ceiling of bytes_op+bytes_slack.
+	// The gated sweeps are sequential and seeded, so their allocated bytes
+	// move only with real footprint changes; the slack covers allocator
+	// size-class rounding, not regressions.
+	BytesOp    float64 `json:"bytes_op,omitempty"`
+	BytesSlack float64 `json:"bytes_slack,omitempty"`
 }
 
 type baseline struct {
@@ -63,10 +73,12 @@ type baseline struct {
 }
 
 type measurement struct {
-	ns     float64
-	allocs float64
-	hasNs  bool
-	hasAll bool
+	ns       float64
+	allocs   float64
+	bytes    float64
+	hasNs    bool
+	hasAll   bool
+	hasBytes bool
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s`)
@@ -147,6 +159,20 @@ func main() {
 			fmt.Printf("note %s: allocs/op improved %.0f -> %.0f; refresh the baseline (benchgate -update)\n",
 				name, want.AllocsOp, m.allocs)
 		}
+		if want.BytesOp > 0 {
+			switch {
+			case !m.hasBytes:
+				fmt.Printf("FAIL %s: no B/op in output (run with -benchmem or b.ReportAllocs)\n", name)
+				pass = false
+			case m.bytes > want.BytesOp+want.BytesSlack:
+				fmt.Printf("FAIL %s: B/op %.0f > baseline %.0f+%.0f slack\n",
+					name, m.bytes, want.BytesOp, want.BytesSlack)
+				pass = false
+			case m.bytes < want.BytesOp:
+				fmt.Printf("note %s: B/op improved %.0f -> %.0f; refresh the baseline (benchgate -update)\n",
+					name, want.BytesOp, m.bytes)
+			}
+		}
 		limit := want.NsOp * factor
 		if m.ns > limit {
 			fmt.Printf("FAIL %s: ns/op %.0f > %.0f (baseline %.0f × factor %g)\n",
@@ -197,6 +223,11 @@ func parseBench(in io.Reader) (map[string]measurement, error) {
 					m.allocs = v
 				}
 				m.hasAll = true
+			case "B/op":
+				if !m.hasBytes || v < m.bytes {
+					m.bytes = v
+				}
+				m.hasBytes = true
 			}
 		}
 		out[name] = m
@@ -219,7 +250,15 @@ func writeBaseline(path string, got map[string]measurement, nsFactor float64) er
 			}
 			for name, m := range got {
 				if o, ok := old.Benchmarks[name]; ok {
-					b.Benchmarks[name] = baselineEntry{NsOp: m.ns, AllocsOp: m.allocs, AllocsSlack: o.AllocsSlack}
+					e := baselineEntry{NsOp: m.ns, AllocsOp: m.allocs, AllocsSlack: o.AllocsSlack}
+					// A benchmark opts into the bytes gate by carrying
+					// bytes_op in the baseline; -update refreshes the number
+					// and keeps the slack policy.
+					if o.BytesOp > 0 {
+						e.BytesOp = m.bytes
+						e.BytesSlack = o.BytesSlack
+					}
+					b.Benchmarks[name] = e
 				}
 			}
 		}
