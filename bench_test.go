@@ -357,6 +357,7 @@ func BenchmarkMultiReq_AL_pno_Sequential(b *testing.B) {
 // BenchmarkMultiReq_AL_pno_Batch answers the same requirements from ONE
 // compiled network and ONE exploration (arch.AnalyzeAll).
 func BenchmarkMultiReq_AL_pno_Batch(b *testing.B) {
+	b.ReportAllocs()
 	sys, reqs := multiReqSystem()
 	var res *arch.AllResult
 	var err error
@@ -385,6 +386,48 @@ func BenchmarkMultiReq_AL_pno_Batch_Parallel(b *testing.B) {
 		}
 	}
 }
+
+// --- Channel scaling: successor cost as synchronization structure grows ---
+
+// scalingSystem builds a synthetic system with n independent periodic
+// scenarios on one fixed-priority processor and one end-to-end requirement
+// each. Every requirement adds a measuring observer listening on its own
+// broadcast completion channels, so n scales the network's CHANNEL count —
+// the axis the compiled successor index flattens (the legacy enumerator
+// rescanned every process's out-edges once per channel). Arrivals are
+// periodic with known offsets, keeping the product state space small and
+// deterministic while the synchronization structure grows.
+func scalingSystem(n int) (*arch.System, []*arch.Requirement) {
+	sys := arch.NewSystem("scale")
+	cpu := sys.AddProcessor("CPU", 10, arch.SchedNondet)
+	reqs := make([]*arch.Requirement, n)
+	for i := 0; i < n; i++ {
+		name := "s" + string(rune('0'+i))
+		sc := sys.AddScenario(name, i+1, arch.Periodic(arch.MS(int64(40+40*(i%2)), 1), arch.MS(int64(3*i), 1)))
+		sc.Compute("op"+string(rune('0'+i)), cpu, 45000)
+		reqs[i] = arch.EndToEnd("r"+string(rune('0'+i)), sc)
+	}
+	return sys, reqs
+}
+
+func benchMultiReqScaling(b *testing.B, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	sys, reqs := scalingSystem(n)
+	var res *arch.AllResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = arch.AnalyzeAll(sys, reqs, arch.Options{HorizonMS: 120}, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Stats.Stored), "states")
+}
+
+func BenchmarkMultiReq_Scaling_1(b *testing.B) { benchMultiReqScaling(b, 1) }
+func BenchmarkMultiReq_Scaling_4(b *testing.B) { benchMultiReqScaling(b, 4) }
+func BenchmarkMultiReq_Scaling_8(b *testing.B) { benchMultiReqScaling(b, 8) }
 
 // BenchmarkMultiReq_BinarySearch measures the rebuilt Property 1 procedure,
 // which now answers every bisection threshold from a single sweep instead of

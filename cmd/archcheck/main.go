@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/profflag"
 	"repro/internal/rtc"
 	"repro/internal/sim"
 	"repro/internal/symta"
@@ -42,6 +43,7 @@ import (
 )
 
 func main() {
+	prof := profflag.Register()
 	var (
 		modelPath   = flag.String("model", "", "path to the JSON system description")
 		reqName     = flag.String("req", "", "requirement to analyze (default: all)")
@@ -68,6 +70,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	data, err := os.ReadFile(*modelPath)
 	if err != nil {
 		fatal(err)

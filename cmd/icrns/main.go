@@ -28,10 +28,12 @@ import (
 	"time"
 
 	"repro/internal/icrns"
+	"repro/internal/profflag"
 	"repro/internal/sim"
 )
 
 func main() {
+	prof := profflag.Register()
 	var (
 		table      = flag.Int("table", 1, "table to regenerate: 1 or 2")
 		budget     = flag.Int("budget", 2_000_000, "state budget per exhaustive exploration")
@@ -48,6 +50,11 @@ func main() {
 			"parallel exploration workers per cell; exhaustive cells are schedule-independent, but budget-truncated \"> N\" lower bounds vary run-to-run unless -workers 1")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var cfg icrns.Config
 	switch *config {

@@ -22,7 +22,8 @@
 // Options: -order bfs|df|rdf, -seed, -max-states, -max-const (extrapolation
 // horizon for the sup clock), -workers (parallel exploration; defaults to
 // the number of CPUs and applies to every query, counterexample and witness
-// traces included).
+// traces included). -cpuprofile/-memprofile write runtime/pprof profiles of
+// the run for hot-path inspection.
 package main
 
 import (
@@ -34,11 +35,13 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/profflag"
 	"repro/internal/ta"
 	"repro/internal/wire"
 )
 
 func main() {
+	prof := profflag.Register()
 	var (
 		modelPath   = flag.String("model", "", "path to the .ta model")
 		reach       = flag.String("reach", "", "reachability predicate")
@@ -62,6 +65,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	data, err := os.ReadFile(*modelPath)
 	if err != nil {
 		fatal(err)

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	taserved [-addr host:port] [-cpu-tokens n] [-max-jobs n] [-keep-jobs n]
-//	         [-deadline-ms n] [-shutdown-timeout d]
+//	         [-deadline-ms n] [-shutdown-timeout d] [-pprof-addr host:port]
+//
+// -pprof-addr (off by default) exposes net/http/pprof on a DEDICATED mux at
+// a separate address, so live CPU/heap/goroutine profiles of a loaded server
+// never share a listener with the public API; bind it to loopback.
 //
 // The server prints "taserved: listening on http://HOST:PORT" once ready
 // (with -addr :0 the kernel picks the port; the line is the way to learn
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,8 +48,30 @@ func main() {
 		deadlineMS  = flag.Int64("deadline-ms", 0, "default per-job wall-clock budget in ms (0 = unbounded)")
 		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
 		memBudget   = flag.Int64("memory-budget", 0, "global zone-memory budget in bytes; jobs hold a slice of it while running and fail alone past their grant (0 = unmetered)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux: the profiling endpoints never touch the API
+		// handler, and registering them does not rely on the default mux.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := http.Serve(pln, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "taserved: pprof:", err)
+			}
+		}()
+		fmt.Printf("taserved: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	srv := serve.New(serve.Config{
 		CPUTokens:       *cpuTokens,

@@ -1,0 +1,8 @@
+package core
+
+// SetLegacyEnumerator routes every enumeration of checker c — successors and
+// the urgency test — through the retained pre-index per-channel rescan
+// (succ_scan.go). Test-only: external differential-oracle tests (package
+// core_test) drive case-study networks through both enumerators and assert
+// identical verdicts, sup values, stats, and replayed traces.
+func SetLegacyEnumerator(c *Checker, on bool) { c.eng.legacyScan = on }

@@ -133,10 +133,43 @@ func (s *State) FormatVerbose(net *ta.Network) string {
 	return s.Format(net) + " " + s.Zone.String()
 }
 
+// LabelKind classifies the synchronization of a transition label. The zero
+// value LabelNone marks the pseudo-label of the initial state in traces.
+type LabelKind uint8
+
+const (
+	// LabelNone is the zero value: no transition (the initial trace step).
+	LabelNone LabelKind = iota
+	// LabelTau marks an internal transition of a single process.
+	LabelTau
+	// LabelSync marks a binary channel rendezvous (one emitter, one receiver).
+	LabelSync
+	// LabelBroadcast marks a broadcast synchronization (one emitter, every
+	// enabled receiver).
+	LabelBroadcast
+)
+
+// String renders the kind exactly as the historical string-typed field did
+// ("tau", "sync", "broadcast"), so formatted traces — and with them the
+// wire/-json bytes — are unchanged.
+func (k LabelKind) String() string {
+	switch k {
+	case LabelNone:
+		return "init"
+	case LabelTau:
+		return "tau"
+	case LabelSync:
+		return "sync"
+	case LabelBroadcast:
+		return "broadcast"
+	}
+	return "?label"
+}
+
 // Label identifies the transition that produced a state, for trace printing.
 type Label struct {
-	// Kind describes the synchronization: "tau", "sync", or "broadcast".
-	Kind string
+	// Kind describes the synchronization.
+	Kind LabelKind
 	// Chan is the channel name for sync/broadcast labels.
 	Chan string
 	// Parts lists the participating processes and the edges they took, in
@@ -152,14 +185,14 @@ type LabelPart struct {
 
 // Format renders the label with names resolved against the network.
 func (l Label) Format(net *ta.Network) string {
-	if l.Kind == "" {
+	if l.Kind == LabelNone {
 		return "init"
 	}
 	var sb strings.Builder
 	if l.Chan != "" {
 		fmt.Fprintf(&sb, "%s(%s):", l.Kind, l.Chan)
 	} else {
-		sb.WriteString(l.Kind + ":")
+		sb.WriteString(l.Kind.String() + ":")
 	}
 	for i, part := range l.Parts {
 		if i > 0 {

@@ -26,13 +26,42 @@ type engine struct {
 	// therefore defaults to Extra_M; LU is exposed for pure reachability
 	// workloads via Checker.SetCoarseExtrapolation.
 	extraLU bool
+	// legacyScan routes successor enumeration and the urgency test through
+	// the pre-index per-channel rescan (succ_scan.go). Test-only: the
+	// differential oracle drives both enumerators over one model and
+	// asserts bit-identical results (succ_index_test.go).
+	legacyScan bool
+
+	// emOff/rcOff are the per-channel segment starts of the enabled-edge
+	// buckets inside succCtx.chanBuf: channel c's enabled emitters occupy
+	// chanBuf[emOff[c]:], its receivers chanBuf[rcOff[c]:]. Segment sizes
+	// come from the network's per-channel edge counts — an upper bound on
+	// simultaneously enabled edges — so one flat buffer of bucketLen parts,
+	// allocated once per succCtx, holds every bucket with no per-fire
+	// growth.
+	emOff, rcOff []int32
+	bucketLen    int
 }
 
 func newEngine(net *ta.Network) (*engine, error) {
 	if !net.Finalized() {
 		return nil, fmt.Errorf("core: network %s must be finalized before analysis", net.Name)
 	}
-	return &engine{net: net, dim: net.NumClocks()}, nil
+	e := &engine{net: net, dim: net.NumClocks()}
+	nChans := len(net.Chans)
+	offs := make([]int32, 2*nChans)
+	e.emOff = offs[:nChans:nChans]
+	e.rcOff = offs[nChans:]
+	off := int32(0)
+	for c := 0; c < nChans; c++ {
+		emit, recv := net.ChanEdgeCounts(ta.ChanID(c))
+		e.emOff[c] = off
+		off += int32(emit)
+		e.rcOff[c] = off
+		off += int32(recv)
+	}
+	e.bucketLen = int(off)
+	return e, nil
 }
 
 // succCtx is the per-worker scratch state of the successor engine. The hot
@@ -62,8 +91,19 @@ type succCtx struct {
 	parts  []LabelPart     // scratch label under construction
 	guards []ta.Constraint // scratch multi-part guard conjunction
 
-	emitters  []LabelPart // per-channel enabled emit edges
-	receivers []LabelPart // per-channel enabled receive edges
+	// chanBuf/chanLen/active are the per-channel enabled-edge buckets of the
+	// one-pass collection (engine.successors): chanBuf is one flat buffer
+	// holding channel c's enabled emitters at engine.emOff[c] and receivers
+	// at engine.rcOff[c], chanLen[2c]/chanLen[2c+1] are the bucket fills,
+	// and active lists the channels touched by the current state. All three
+	// are sized once from the compiled index (newCtx) and reused across
+	// fires — bucketing allocates nothing, ever.
+	chanBuf []LabelPart
+	chanLen []int32
+	active  []int32
+
+	emitters  []LabelPart // legacy scan enumerator: per-channel enabled emit edges
+	receivers []LabelPart // legacy scan enumerator: per-channel enabled receive edges
 	runs      []partRun   // broadcast receiver grouping
 
 	// states is a free list of State objects (with their discrete vectors)
@@ -89,6 +129,8 @@ type partRun struct{ start, end int }
 
 // newCtx returns a fresh scratch context for one exploration worker.
 func (e *engine) newCtx() *succCtx {
+	nChans := len(e.net.Chans)
+	ints := make([]int32, 3*nChans)
 	return &succCtx{
 		pool:       dbm.NewPool(e.dim),
 		zone:       dbm.New(e.dim),
@@ -97,6 +139,9 @@ func (e *engine) newCtx() *succCtx {
 		tGuard:     dbm.NewTouched(e.dim),
 		locs:       make([]ta.LocID, len(e.net.Procs)),
 		vars:       make([]int64, len(e.net.Vars)),
+		chanBuf:    make([]LabelPart, e.bucketLen),
+		chanLen:    ints[: 2*nChans : 2*nChans],
+		active:     ints[2*nChans : 2*nChans : 3*nChans],
 		keepLabels: true,
 	}
 }
@@ -175,10 +220,31 @@ type succ struct {
 // folded into stored states, so no explicit delay successors are produced.
 // Labels passed through the candidate pipeline point at ctx scratch and are
 // cloned only when a transition actually fires.
+//
+// Enumeration is ONE pass over the location vector driven by the compiled
+// transition index (ta.Finalize): each location contributes its tau edges
+// (fired immediately — they precede every synchronization in the
+// deterministic order) and its sync edges, whose data guard is evaluated
+// exactly once before the enabled ones are bucketed into the per-channel
+// scratch segments of ctx.chanBuf. Rendezvous pairs and broadcast combos are
+// then enumerated over only the populated channels, in ascending channel
+// order. The resulting succ stream is bit-identical to the legacy
+// per-channel rescan (successorsScan), which the differential oracle pins.
 func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) {
+	if e.legacyScan {
+		return e.successorsScan(ctx, s, out)
+	}
+	// Reset the buckets the previous enumeration touched. Doing it on entry
+	// (rather than exit) keeps the scratch self-healing across error paths.
+	for _, ci := range ctx.active {
+		ctx.chanLen[2*ci] = 0
+		ctx.chanLen[2*ci+1] = 0
+	}
+	ctx.active = ctx.active[:0]
+
 	anyCommitted := false
 	for pi, l := range s.Locs {
-		if e.net.Procs[pi].Locations[l].Kind == ta.Committed {
+		if e.net.Procs[pi].CommittedLoc(l) {
 			anyCommitted = true
 			break
 		}
@@ -190,7 +256,7 @@ func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) 
 			return true
 		}
 		for _, pt := range parts {
-			if e.net.Procs[pt.Proc].Locations[s.Locs[pt.Proc]].Kind == ta.Committed {
+			if e.net.Procs[pt.Proc].CommittedLoc(s.Locs[pt.Proc]) {
 				return true
 			}
 		}
@@ -215,37 +281,72 @@ func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) 
 		}
 	}
 
-	// Internal (tau) transitions.
+	// The single pass: tau fires and sync bucketing per process. Buckets
+	// fill in pass order, so within every channel the parts stay grouped by
+	// process in increasing process order — broadcastCombos' run-grouping
+	// depends on that.
 	for pi, p := range e.net.Procs {
-		for _, ei := range p.OutEdges(s.Locs[pi]) {
+		l := s.Locs[pi]
+		for _, ei := range p.TauEdges(l) {
 			ed := &p.Edges[ei]
-			if ed.Sync.Dir != ta.Tau || !ta.EvalGuard(ed.Guard, s.Vars) {
+			if !ta.EvalGuard(ed.Guard, s.Vars) {
 				continue
 			}
-			ctx.parts = append(ctx.parts[:0], LabelPart{ta.ProcID(pi), ei})
-			try(Label{Kind: "tau", Parts: ctx.parts})
+			ctx.parts = append(ctx.parts[:0], LabelPart{ta.ProcID(pi), int(ei)})
+			try(Label{Kind: LabelTau, Parts: ctx.parts})
+		}
+		for _, se := range p.SyncEdges(l) {
+			if !ta.EvalGuard(p.Edges[se.Edge].Guard, s.Vars) {
+				continue
+			}
+			ci := int32(se.Chan)
+			if ctx.chanLen[2*ci] == 0 && ctx.chanLen[2*ci+1] == 0 {
+				ctx.active = append(ctx.active, ci)
+			}
+			part := LabelPart{ta.ProcID(pi), int(se.Edge)}
+			if se.Dir == ta.Emit {
+				ctx.chanBuf[e.emOff[ci]+ctx.chanLen[2*ci]] = part
+				ctx.chanLen[2*ci]++
+			} else {
+				ctx.chanBuf[e.rcOff[ci]+ctx.chanLen[2*ci+1]] = part
+				ctx.chanLen[2*ci+1]++
+			}
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+
+	// Channels were appended in first-touch (location-vector) order; the
+	// enumeration contract wants ascending channel order. The populated set
+	// is small, so an insertion sort beats anything with allocation.
+	act := ctx.active
+	for i := 1; i < len(act); i++ {
+		for j := i; j > 0 && act[j] < act[j-1]; j-- {
+			act[j], act[j-1] = act[j-1], act[j]
 		}
 	}
 
-	// Synchronizations, channel by channel.
-	for ci := range e.net.Chans {
-		ch := &e.net.Chans[ci]
-		emitters, receivers := e.enabledSyncEdges(ctx, s, ta.ChanID(ci))
-		if len(emitters) == 0 {
+	// Synchronizations over only the populated channels.
+	for _, ci := range act {
+		em := ctx.chanBuf[e.emOff[ci] : e.emOff[ci]+ctx.chanLen[2*ci]]
+		if len(em) == 0 {
 			continue
 		}
+		rc := ctx.chanBuf[e.rcOff[ci] : e.rcOff[ci]+ctx.chanLen[2*ci+1]]
+		ch := &e.net.Chans[ci]
 		if ch.Kind.IsBroadcast() {
-			for _, em := range emitters {
-				e.broadcastCombos(ctx, ch, em, receivers, try)
+			for _, emp := range em {
+				e.broadcastCombos(ctx, ch, emp, rc, try)
 			}
 		} else {
-			for _, em := range emitters {
-				for _, rc := range receivers {
-					if rc.Proc == em.Proc {
+			for _, emp := range em {
+				for _, rcp := range rc {
+					if rcp.Proc == emp.Proc {
 						continue
 					}
-					ctx.parts = append(ctx.parts[:0], em, rc)
-					try(Label{Kind: "sync", Chan: ch.Name, Parts: ctx.parts})
+					ctx.parts = append(ctx.parts[:0], emp, rcp)
+					try(Label{Kind: LabelSync, Chan: ch.Name, Parts: ctx.parts})
 				}
 			}
 		}
@@ -254,33 +355,6 @@ func (e *engine) successors(ctx *succCtx, s *State, out []succ) ([]succ, error) 
 		}
 	}
 	return out, err
-}
-
-// enabledSyncEdges collects the data-guard-enabled emit and receive edges on
-// channel c in the current discrete state, into ctx scratch. The returned
-// slices are valid until the next call and are grouped by process in
-// increasing process order.
-func (e *engine) enabledSyncEdges(ctx *succCtx, s *State, c ta.ChanID) (emitters, receivers []LabelPart) {
-	emitters, receivers = ctx.emitters[:0], ctx.receivers[:0]
-	for pi, p := range e.net.Procs {
-		for _, ei := range p.OutEdges(s.Locs[pi]) {
-			ed := &p.Edges[ei]
-			if ed.Sync.Dir == ta.Tau || ed.Sync.Chan != c {
-				continue
-			}
-			if !ta.EvalGuard(ed.Guard, s.Vars) {
-				continue
-			}
-			part := LabelPart{ta.ProcID(pi), ei}
-			if ed.Sync.Dir == ta.Emit {
-				emitters = append(emitters, part)
-			} else {
-				receivers = append(receivers, part)
-			}
-		}
-	}
-	ctx.emitters, ctx.receivers = emitters, receivers
-	return emitters, receivers
 }
 
 // broadcastCombos enumerates the maximal-participation broadcast
@@ -307,7 +381,7 @@ func (e *engine) broadcastCombos(ctx *succCtx, ch *ta.Channel, em LabelPart,
 	var rec func(k int)
 	rec = func(k int) {
 		if k == len(runs) {
-			try(Label{Kind: "broadcast", Chan: ch.Name, Parts: parts})
+			try(Label{Kind: LabelBroadcast, Chan: ch.Name, Parts: parts})
 			return
 		}
 		for x := runs[k].start; x < runs[k].end; x++ {
@@ -442,71 +516,86 @@ func (e *engine) closeInPlace(z *dbm.DBM, locs []ta.LocID, vars []int64, rows, c
 // delayAllowed implements the urgency rule: no delay while any process is in
 // an urgent or committed location, or any urgent-channel synchronization is
 // enabled (data-guard-wise; urgent edges carry no clock guards by
-// validation).
+// validation). The compiled index narrows the channel test to the urgent
+// channels and, per channel, to the processes that actually own edges on it.
 func (e *engine) delayAllowed(locs []ta.LocID, vars []int64) bool {
+	if e.legacyScan {
+		return e.delayAllowedScan(locs, vars)
+	}
 	for pi, l := range locs {
-		if k := e.net.Procs[pi].Locations[l].Kind; k == ta.UrgentLoc || k == ta.Committed {
+		if e.net.Procs[pi].NoDelayLoc(l) {
 			return false
 		}
 	}
-	for ci := range e.net.Chans {
-		ch := &e.net.Chans[ci]
-		if !ch.Kind.Urgent() {
-			continue
-		}
-		if ch.Kind == ta.BroadcastUrgent {
+	for _, ci := range e.net.UrgentChans() {
+		if e.net.Chans[ci].Kind == ta.BroadcastUrgent {
 			// A broadcast sender never blocks: any enabled emitter forbids
 			// delay.
-			if e.broadcastEmitEnabled(locs, vars, ta.ChanID(ci)) {
+			if e.urgentEmitEnabled(locs, vars, ci) {
 				return false
 			}
-		} else if e.binaryPairEnabled(locs, vars, ta.ChanID(ci)) {
+		} else if e.urgentPairEnabled(locs, vars, ci) {
 			return false
 		}
 	}
 	return true
 }
 
-// broadcastEmitEnabled reports whether any emit edge on channel c is
-// data-guard-enabled in the given discrete state.
-func (e *engine) broadcastEmitEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
-	for pi, p := range e.net.Procs {
-		for _, ei := range p.OutEdges(locs[pi]) {
-			ed := &p.Edges[ei]
-			if ed.Sync.Dir == ta.Emit && ed.Sync.Chan == c && ta.EvalGuard(ed.Guard, vars) {
-				return true
-			}
+// syncEnabled reports whether process pi, at location l, has a data-guard-
+// enabled edge on channel c in direction d.
+func (e *engine) syncEnabled(pi ta.ProcID, l ta.LocID, c ta.ChanID, d ta.SyncDir, vars []int64) bool {
+	p := e.net.Procs[pi]
+	for _, se := range p.SyncEdges(l) {
+		if se.Chan == c && se.Dir == d && ta.EvalGuard(p.Edges[se.Edge].Guard, vars) {
+			return true
 		}
 	}
 	return false
 }
 
-// binaryPairEnabled reports whether some emit and receive edge on channel c
-// are simultaneously enabled in distinct processes.
-func (e *engine) binaryPairEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
-	emitSeen, recvSeen := false, false
-	var emitProc, recvProc ta.ProcID
-	emitMany, recvMany := false, false
-	for pi, p := range e.net.Procs {
-		for _, ei := range p.OutEdges(locs[pi]) {
-			ed := &p.Edges[ei]
-			if ed.Sync.Dir == ta.Tau || ed.Sync.Chan != c || !ta.EvalGuard(ed.Guard, vars) {
-				continue
-			}
-			if ed.Sync.Dir == ta.Emit {
-				if emitSeen && emitProc != ta.ProcID(pi) {
-					emitMany = true
-				}
-				emitSeen, emitProc = true, ta.ProcID(pi)
-			} else {
-				if recvSeen && recvProc != ta.ProcID(pi) {
-					recvMany = true
-				}
-				recvSeen, recvProc = true, ta.ProcID(pi)
-			}
+// urgentEmitEnabled reports whether any emit edge on channel c is
+// data-guard-enabled, visiting only the processes that own emit edges on c.
+func (e *engine) urgentEmitEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
+	for _, pi := range e.net.ChanEmitProcs(c) {
+		if e.syncEnabled(pi, locs[pi], c, ta.Emit, vars) {
+			return true
 		}
 	}
-	if !emitSeen || !recvSeen {
+	return false
+}
+
+// urgentPairEnabled reports whether some emit and receive edge on channel c
+// are simultaneously enabled in distinct processes, visiting only the
+// channel's participants.
+func (e *engine) urgentPairEnabled(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
+	emitSeen, emitMany := false, false
+	var emitProc ta.ProcID
+	for _, pi := range e.net.ChanEmitProcs(c) {
+		if !e.syncEnabled(pi, locs[pi], c, ta.Emit, vars) {
+			continue
+		}
+		if emitSeen {
+			emitMany = true
+			break
+		}
+		emitSeen, emitProc = true, pi
+	}
+	if !emitSeen {
+		return false
+	}
+	recvSeen, recvMany := false, false
+	var recvProc ta.ProcID
+	for _, pi := range e.net.ChanRecvProcs(c) {
+		if !e.syncEnabled(pi, locs[pi], c, ta.Recv, vars) {
+			continue
+		}
+		if recvSeen {
+			recvMany = true
+			break
+		}
+		recvSeen, recvProc = true, pi
+	}
+	if !recvSeen {
 		return false
 	}
 	// A pair exists unless every enabled emitter and receiver live in the

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"repro/internal/ta"
+)
+
+// This file preserves the pre-index successor enumerator — the per-channel
+// rescan of every process's out-edges — verbatim. It is NOT on the hot path:
+// engine.legacyScan routes an exploration through it so the differential
+// oracle (succ_index_test.go, FuzzSuccessorsIndexed) can assert that the
+// indexed one-pass enumerator in succ.go produces a bit-identical succ
+// stream, state by state and sweep by sweep. The enumeration-order contract
+// both implementations satisfy:
+//
+//   1. tau fires first, in (process, OutEdges) order;
+//   2. channels fire in ascending channel order;
+//   3. within a channel, enabled emitters and receivers are grouped by
+//      process in increasing process order (broadcastCombos' single-scan
+//      run-grouping silently depends on this);
+//   4. binary rendezvous enumerate emitter-major, broadcast combos
+//      emitter by emitter.
+
+// successorsScan is the legacy enumerator: for every channel, rescan every
+// process's out-edges (enabledSyncEdges), O(|Chans| × Σ out-edges) per
+// state.
+func (e *engine) successorsScan(ctx *succCtx, s *State, out []succ) ([]succ, error) {
+	anyCommitted := false
+	for pi, l := range s.Locs {
+		if e.net.Procs[pi].Locations[l].Kind == ta.Committed {
+			anyCommitted = true
+			break
+		}
+	}
+	// committedOK implements the committed-location rule: when any process
+	// is committed, only transitions involving a committed process may fire.
+	committedOK := func(parts []LabelPart) bool {
+		if !anyCommitted {
+			return true
+		}
+		for _, pt := range parts {
+			if e.net.Procs[pt.Proc].Locations[s.Locs[pt.Proc]].Kind == ta.Committed {
+				return true
+			}
+		}
+		return false
+	}
+
+	base := len(out)
+	var err error
+	try := func(label Label) {
+		if err != nil || !committedOK(label.Parts) {
+			return
+		}
+		var ns *State
+		ns, err = e.fire(ctx, s, label)
+		if err == nil && ns != nil {
+			if ctx.keepLabels {
+				label.Parts = ctx.allocParts(label.Parts)
+			} else {
+				label.Parts = nil // scratch-backed; caller discards labels
+			}
+			out = append(out, succ{label, ns, int32(len(out) - base)})
+		}
+	}
+
+	// Internal (tau) transitions.
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(s.Locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir != ta.Tau || !ta.EvalGuard(ed.Guard, s.Vars) {
+				continue
+			}
+			ctx.parts = append(ctx.parts[:0], LabelPart{ta.ProcID(pi), ei})
+			try(Label{Kind: LabelTau, Parts: ctx.parts})
+		}
+	}
+
+	// Synchronizations, channel by channel.
+	for ci := range e.net.Chans {
+		ch := &e.net.Chans[ci]
+		emitters, receivers := e.enabledSyncEdges(ctx, s, ta.ChanID(ci))
+		if len(emitters) == 0 {
+			continue
+		}
+		if ch.Kind.IsBroadcast() {
+			for _, em := range emitters {
+				e.broadcastCombos(ctx, ch, em, receivers, try)
+			}
+		} else {
+			for _, em := range emitters {
+				for _, rc := range receivers {
+					if rc.Proc == em.Proc {
+						continue
+					}
+					ctx.parts = append(ctx.parts[:0], em, rc)
+					try(Label{Kind: LabelSync, Chan: ch.Name, Parts: ctx.parts})
+				}
+			}
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, err
+}
+
+// enabledSyncEdges collects the data-guard-enabled emit and receive edges on
+// channel c in the current discrete state, into ctx scratch. The returned
+// slices are valid until the next call and are grouped by process in
+// increasing process order.
+func (e *engine) enabledSyncEdges(ctx *succCtx, s *State, c ta.ChanID) (emitters, receivers []LabelPart) {
+	emitters, receivers = ctx.emitters[:0], ctx.receivers[:0]
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(s.Locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir == ta.Tau || ed.Sync.Chan != c {
+				continue
+			}
+			if !ta.EvalGuard(ed.Guard, s.Vars) {
+				continue
+			}
+			part := LabelPart{ta.ProcID(pi), ei}
+			if ed.Sync.Dir == ta.Emit {
+				emitters = append(emitters, part)
+			} else {
+				receivers = append(receivers, part)
+			}
+		}
+	}
+	ctx.emitters, ctx.receivers = emitters, receivers
+	return emitters, receivers
+}
+
+// delayAllowedScan is the legacy urgency test: every channel, every process,
+// every out-edge.
+func (e *engine) delayAllowedScan(locs []ta.LocID, vars []int64) bool {
+	for pi, l := range locs {
+		if k := e.net.Procs[pi].Locations[l].Kind; k == ta.UrgentLoc || k == ta.Committed {
+			return false
+		}
+	}
+	for ci := range e.net.Chans {
+		ch := &e.net.Chans[ci]
+		if !ch.Kind.Urgent() {
+			continue
+		}
+		if ch.Kind == ta.BroadcastUrgent {
+			// A broadcast sender never blocks: any enabled emitter forbids
+			// delay.
+			if e.broadcastEmitEnabledScan(locs, vars, ta.ChanID(ci)) {
+				return false
+			}
+		} else if e.binaryPairEnabledScan(locs, vars, ta.ChanID(ci)) {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastEmitEnabledScan reports whether any emit edge on channel c is
+// data-guard-enabled in the given discrete state.
+func (e *engine) broadcastEmitEnabledScan(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir == ta.Emit && ed.Sync.Chan == c && ta.EvalGuard(ed.Guard, vars) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// binaryPairEnabledScan reports whether some emit and receive edge on
+// channel c are simultaneously enabled in distinct processes.
+func (e *engine) binaryPairEnabledScan(locs []ta.LocID, vars []int64, c ta.ChanID) bool {
+	emitSeen, recvSeen := false, false
+	var emitProc, recvProc ta.ProcID
+	emitMany, recvMany := false, false
+	for pi, p := range e.net.Procs {
+		for _, ei := range p.OutEdges(locs[pi]) {
+			ed := &p.Edges[ei]
+			if ed.Sync.Dir == ta.Tau || ed.Sync.Chan != c || !ta.EvalGuard(ed.Guard, vars) {
+				continue
+			}
+			if ed.Sync.Dir == ta.Emit {
+				if emitSeen && emitProc != ta.ProcID(pi) {
+					emitMany = true
+				}
+				emitSeen, emitProc = true, ta.ProcID(pi)
+			} else {
+				if recvSeen && recvProc != ta.ProcID(pi) {
+					recvMany = true
+				}
+				recvSeen, recvProc = true, ta.ProcID(pi)
+			}
+		}
+	}
+	if !emitSeen || !recvSeen {
+		return false
+	}
+	// A pair exists unless every enabled emitter and receiver live in the
+	// same single process.
+	return emitMany || recvMany || emitProc != recvProc
+}

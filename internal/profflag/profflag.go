@@ -1,0 +1,65 @@
+// Package profflag wires runtime/pprof CPU and heap profiling into the
+// analysis CLIs as -cpuprofile / -memprofile flags, so hot-path work on the
+// successor engine can be measured on the real workloads (a Table 1 sweep,
+// a batch analysis) instead of synthetic benchmarks only.
+package profflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the profile destinations parsed from the command line.
+type Profiles struct {
+	cpu string
+	mem string
+}
+
+// Register declares -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func Register() *Profiles {
+	p := &Profiles{}
+	flag.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function flushes the CPU profile and writes the heap profile; defer it on
+// the normal return path (profiles are not written when the command exits
+// through a fatal error — a failed run is not the workload being measured).
+// Call after flag.Parse.
+func (p *Profiles) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.cpu != "" {
+		cpuFile, err = os.Create(p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if p.mem != "" {
+			f, err := os.Create(p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live-heap picture before dumping
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

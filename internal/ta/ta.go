@@ -161,6 +161,17 @@ type Edge struct {
 	Update Update // variable update; nil means skip
 }
 
+// SyncEdge is one entry of the per-location synchronization index built by
+// Finalize: a synchronizing out-edge of the location together with its
+// channel and direction, in OutEdges order. The successor engine's one-pass
+// enabled-edge collection iterates these instead of rescanning every
+// out-edge once per channel.
+type SyncEdge struct {
+	Chan ChanID
+	Dir  SyncDir
+	Edge int32 // index into Process.Edges
+}
+
 // Process is one component automaton of the network.
 type Process struct {
 	Name      string
@@ -170,6 +181,21 @@ type Process struct {
 
 	// outEdges[l] lists indices into Edges with Src == l; built by Finalize.
 	outEdges [][]int
+
+	// The compiled transition index, built by Finalize and immutable
+	// afterwards (consumed lock-free by every exploration worker). Both
+	// per-location lists are CSR-style flat arrays: location l owns
+	// tauIdx[tauOff[l]:tauOff[l+1]] and syncIdx[syncOff[l]:syncOff[l+1]],
+	// each in OutEdges order.
+	tauOff  []int32
+	tauIdx  []int32 // indices into Edges of tau out-edges
+	syncOff []int32
+	syncIdx []SyncEdge
+	// committed[l] / noDelay[l] precompute Locations[l].Kind == Committed
+	// and Kind ∈ {UrgentLoc, Committed}, the two per-location tests on the
+	// successor hot path.
+	committed []bool
+	noDelay   []bool
 }
 
 // AddLocation appends a location and returns its ID.
@@ -186,6 +212,23 @@ func (p *Process) AddEdge(e Edge) {
 // OutEdges returns the indices of the edges leaving location l. Valid only
 // after Network.Finalize.
 func (p *Process) OutEdges(l LocID) []int { return p.outEdges[l] }
+
+// TauEdges returns the indices of the internal (tau) edges leaving location
+// l, in OutEdges order. Valid only after Network.Finalize.
+func (p *Process) TauEdges(l LocID) []int32 { return p.tauIdx[p.tauOff[l]:p.tauOff[l+1]] }
+
+// SyncEdges returns the synchronizing edges leaving location l with their
+// channel and direction, in OutEdges order. Valid only after
+// Network.Finalize.
+func (p *Process) SyncEdges(l LocID) []SyncEdge { return p.syncIdx[p.syncOff[l]:p.syncOff[l+1]] }
+
+// CommittedLoc reports whether location l is committed. Valid only after
+// Network.Finalize.
+func (p *Process) CommittedLoc(l LocID) bool { return p.committed[l] }
+
+// NoDelayLoc reports whether location l forbids delay (urgent or committed).
+// Valid only after Network.Finalize.
+func (p *Process) NoDelayLoc(l LocID) bool { return p.noDelay[l] }
 
 // VarDecl describes one bounded integer variable.
 type VarDecl struct {
@@ -213,6 +256,21 @@ type Network struct {
 	// covers upper bounds and invariants (c < k, c <= k).
 	LowerConsts []int64
 	UpperConsts []int64
+
+	// The network-level half of the compiled transition index, built by
+	// Finalize and immutable afterwards. chanEmitProcs[c]/chanRecvProcs[c]
+	// list the processes owning at least one emit/receive edge on channel c
+	// in ascending process order (the urgency test visits only them);
+	// chanEmitEdges[c]/chanRecvEdges[c] count those edges network-wide,
+	// bounding how many can be simultaneously enabled — the successor
+	// engine sizes its per-channel scratch buckets from these, once, so
+	// bucketing never allocates. urgentChans lists the urgent channels in
+	// ascending order.
+	chanEmitProcs [][]ProcID
+	chanRecvProcs [][]ProcID
+	chanEmitEdges []int32
+	chanRecvEdges []int32
+	urgentChans   []ChanID
 
 	finalized bool
 }
@@ -287,6 +345,25 @@ func (n *Network) EnsureMaxConst(c ClockID, k int64) {
 		n.UpperConsts[c] = k
 	}
 }
+
+// ChanEmitProcs returns the processes with at least one emit edge on
+// channel c, in ascending process order. Valid only after Finalize.
+func (n *Network) ChanEmitProcs(c ChanID) []ProcID { return n.chanEmitProcs[c] }
+
+// ChanRecvProcs returns the processes with at least one receive edge on
+// channel c, in ascending process order. Valid only after Finalize.
+func (n *Network) ChanRecvProcs(c ChanID) []ProcID { return n.chanRecvProcs[c] }
+
+// ChanEdgeCounts returns the network-wide number of emit and receive edges
+// on channel c — an upper bound on how many can be enabled in any single
+// state. Valid only after Finalize.
+func (n *Network) ChanEdgeCounts(c ChanID) (emit, recv int) {
+	return int(n.chanEmitEdges[c]), int(n.chanRecvEdges[c])
+}
+
+// UrgentChans returns the urgent channels of the network in ascending
+// order. Valid only after Finalize.
+func (n *Network) UrgentChans() []ChanID { return n.urgentChans }
 
 // ProcByName returns the process with the given name, or nil.
 func (n *Network) ProcByName(name string) *Process {

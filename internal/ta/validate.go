@@ -33,7 +33,6 @@ func (n *Network) Finalize() error {
 		if int(p.Init) >= len(p.Locations) || p.Init < 0 {
 			return fmt.Errorf("ta: process %s has invalid initial location %d", p.Name, p.Init)
 		}
-		p.outEdges = make([][]int, len(p.Locations))
 		for li, l := range p.Locations {
 			for _, c := range l.Invariant {
 				if err := n.checkConstraint(c); err != nil {
@@ -113,7 +112,6 @@ func (n *Network) Finalize() error {
 				return fmt.Errorf("ta: process %s edge %d has invalid sync direction", p.Name, ei)
 			}
 			_ = pi
-			p.outEdges[e.Src] = append(p.outEdges[e.Src], ei)
 		}
 	}
 	for _, v := range n.Vars {
@@ -125,8 +123,184 @@ func (n *Network) Finalize() error {
 				v.Name, v.Init, v.Min, v.Max)
 		}
 	}
+	n.buildIndex()
 	n.finalized = true
 	return nil
+}
+
+// buildIndex compiles the transition index the successor engine consumes:
+// per-location tau and sync edge lists (CSR layout, OutEdges order),
+// per-location committed/no-delay flags, the channel→participating-process
+// tables, per-channel edge counts, and the urgent-channel list. Everything
+// built here is immutable after Finalize — exploration workers read it
+// concurrently without synchronization.
+func (n *Network) buildIndex() {
+	// The whole per-location index is carved out of three backing arrays.
+	// Finalize runs once per network, but compiled pipelines (arch →
+	// AnalyzeAll) rebuild their network per analysis, so the build itself
+	// must not allocate per process — gated benchmarks count every alloc.
+	totOff, totTau, totSync, totLoc, totEdge, maxLoc := 0, 0, 0, 0, 0, 0
+	for _, p := range n.Procs {
+		totOff += 2 * (len(p.Locations) + 1)
+		totLoc += 2 * len(p.Locations)
+		totEdge += len(p.Edges)
+		if len(p.Locations) > maxLoc {
+			maxLoc = len(p.Locations)
+		}
+		for _, e := range p.Edges {
+			if e.Sync.Dir == Tau {
+				totTau++
+			} else {
+				totSync++
+			}
+		}
+	}
+
+	// outEdges first (CSR as well — the per-location headers and the edge
+	// indices all live in two arrays); the tau/sync split below reads it.
+	oeHeaders := make([][]int, totLoc/2)
+	flat := make([]int, totEdge)
+	scratch := make([]int32, maxLoc)
+	hpos, fpos := 0, 0
+	for _, p := range n.Procs {
+		nLocs := len(p.Locations)
+		p.outEdges = oeHeaders[hpos : hpos+nLocs : hpos+nLocs]
+		hpos += nLocs
+		cnt := scratch[:nLocs]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, e := range p.Edges {
+			cnt[e.Src]++
+		}
+		for l := 0; l < nLocs; l++ {
+			k := int(cnt[l])
+			p.outEdges[l] = flat[fpos : fpos : fpos+k]
+			fpos += k
+		}
+		for ei := range p.Edges {
+			src := p.Edges[ei].Src
+			p.outEdges[src] = append(p.outEdges[src], ei)
+		}
+	}
+	i32 := make([]int32, totOff+totTau)
+	edges := make([]SyncEdge, totSync)
+	flags := make([]bool, totLoc)
+	for _, p := range n.Procs {
+		nLocs := len(p.Locations)
+		nTau, nSync := 0, 0
+		for _, e := range p.Edges {
+			if e.Sync.Dir == Tau {
+				nTau++
+			} else {
+				nSync++
+			}
+		}
+		// Full-slice caps keep appends inside each process's segment.
+		p.tauOff, i32 = i32[:nLocs+1:nLocs+1], i32[nLocs+1:]
+		p.syncOff, i32 = i32[:nLocs+1:nLocs+1], i32[nLocs+1:]
+		p.tauIdx, i32 = i32[:0:nTau], i32[nTau:]
+		p.syncIdx, edges = edges[:0:nSync], edges[nSync:]
+		p.committed, flags = flags[:nLocs:nLocs], flags[nLocs:]
+		p.noDelay, flags = flags[:nLocs:nLocs], flags[nLocs:]
+		for l, loc := range p.Locations {
+			p.committed[l] = loc.Kind == Committed
+			p.noDelay[l] = loc.Kind == UrgentLoc || loc.Kind == Committed
+			p.tauOff[l] = int32(len(p.tauIdx))
+			p.syncOff[l] = int32(len(p.syncIdx))
+			for _, ei := range p.outEdges[l] {
+				e := &p.Edges[ei]
+				if e.Sync.Dir == Tau {
+					p.tauIdx = append(p.tauIdx, int32(ei))
+				} else {
+					p.syncIdx = append(p.syncIdx, SyncEdge{Chan: e.Sync.Chan, Dir: e.Sync.Dir, Edge: int32(ei)})
+				}
+			}
+		}
+		p.tauOff[nLocs] = int32(len(p.tauIdx))
+		p.syncOff[nLocs] = int32(len(p.syncIdx))
+	}
+
+	// Channel tables, same treatment: count first (the last-proc scratch
+	// dedups repeated edges of one process), then carve every participant
+	// list out of one flat array.
+	nChans := len(n.Chans)
+	cnt := make([]int32, 6*nChans)
+	n.chanEmitEdges = cnt[0*nChans : 1*nChans : 1*nChans]
+	n.chanRecvEdges = cnt[1*nChans : 2*nChans : 2*nChans]
+	emitN := cnt[2*nChans : 3*nChans : 3*nChans]
+	recvN := cnt[3*nChans : 4*nChans : 4*nChans]
+	lastEmit := cnt[4*nChans : 5*nChans : 5*nChans]
+	lastRecv := cnt[5*nChans : 6*nChans : 6*nChans]
+	for i := 0; i < nChans; i++ {
+		lastEmit[i], lastRecv[i] = -1, -1
+	}
+	for pi, p := range n.Procs {
+		for _, e := range p.Edges {
+			if e.Sync.Dir == Tau {
+				continue
+			}
+			c := e.Sync.Chan
+			if e.Sync.Dir == Recv {
+				n.chanRecvEdges[c]++
+				if lastRecv[c] != int32(pi) {
+					lastRecv[c] = int32(pi)
+					recvN[c]++
+				}
+			} else {
+				n.chanEmitEdges[c]++
+				if lastEmit[c] != int32(pi) {
+					lastEmit[c] = int32(pi)
+					emitN[c]++
+				}
+			}
+		}
+	}
+	totParts := 0
+	for c := 0; c < nChans; c++ {
+		totParts += int(emitN[c] + recvN[c])
+	}
+	parts := make([]ProcID, totParts)
+	headers := make([][]ProcID, 2*nChans)
+	n.chanEmitProcs = headers[:nChans:nChans]
+	n.chanRecvProcs = headers[nChans:]
+	pos := 0
+	for c := 0; c < nChans; c++ {
+		n.chanEmitProcs[c] = parts[pos : pos : pos+int(emitN[c])]
+		pos += int(emitN[c])
+		n.chanRecvProcs[c] = parts[pos : pos : pos+int(recvN[c])]
+		pos += int(recvN[c])
+	}
+	for i := 0; i < nChans; i++ {
+		lastEmit[i], lastRecv[i] = -1, -1
+	}
+	for pi, p := range n.Procs {
+		for _, e := range p.Edges {
+			if e.Sync.Dir == Tau {
+				continue
+			}
+			// Processes are visited in ascending order, so appending the
+			// first occurrence keeps the participant lists sorted.
+			c := e.Sync.Chan
+			if e.Sync.Dir == Recv {
+				if lastRecv[c] != int32(pi) {
+					lastRecv[c] = int32(pi)
+					n.chanRecvProcs[c] = append(n.chanRecvProcs[c], ProcID(pi))
+				}
+			} else {
+				if lastEmit[c] != int32(pi) {
+					lastEmit[c] = int32(pi)
+					n.chanEmitProcs[c] = append(n.chanEmitProcs[c], ProcID(pi))
+				}
+			}
+		}
+	}
+	n.urgentChans = n.urgentChans[:0]
+	for ci, ch := range n.Chans {
+		if ch.Kind.Urgent() {
+			n.urgentChans = append(n.urgentChans, ChanID(ci))
+		}
+	}
 }
 
 // Finalized reports whether Finalize has completed successfully.

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
@@ -126,5 +127,69 @@ func TestFromAllResultExact(t *testing.T) {
 	}
 	if back.Results[0].MS != resp.Results[0].MS {
 		t.Error("JSON round trip lost the exact MS string")
+	}
+}
+
+// TestLabelKindWireBytesStable pins the wire spelling of transition kinds
+// after core.Label.Kind became an integer enum: formatted traces — the only
+// place labels reach the wire — must still say "init", "tau", "sync", and
+// "broadcast", and the JSON response must round-trip byte-identically.
+func TestLabelKindWireBytesStable(t *testing.T) {
+	specs := []TAQuery{{Kind: "reach", Pred: "RAD.busy"}}
+	net, err := ParseTAModel(tinyTA(t), specs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewTARun(net, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := checker.RunQueries(core.Options{}, run.Queries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := run.Response(stats)
+	trace := resp.Queries[0].Trace
+	if trace == "" {
+		t.Fatal("reach RAD.busy produced no trace")
+	}
+	// The witness passes through the urgent broadcast "hurry", so the trace
+	// must carry the historical spellings of both the initial pseudo-label
+	// and the broadcast kind.
+	for _, want := range []string{"init", "broadcast(hurry):"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace lost the %q spelling:\n%s", want, trace)
+		}
+	}
+	for _, enum := range []core.LabelKind{core.LabelNone, core.LabelTau, core.LabelSync, core.LabelBroadcast} {
+		if s := enum.String(); s != map[core.LabelKind]string{
+			core.LabelNone: "init", core.LabelTau: "tau",
+			core.LabelSync: "sync", core.LabelBroadcast: "broadcast",
+		}[enum] {
+			t.Errorf("LabelKind(%d).String() = %q", enum, s)
+		}
+	}
+	// Byte-identical JSON round trip: unmarshal and re-marshal.
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TAResponse
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("wire bytes not stable under round trip:\n%s\n%s", b, b2)
+	}
+	if back.Queries[0].Trace != trace {
+		t.Error("round trip altered the trace string")
 	}
 }
