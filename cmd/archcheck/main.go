@@ -229,6 +229,12 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "archcheck:", err)
+	// Budget and abort failures carry the same named code here as in
+	// taserved's wire responses, so scripts can match one taxonomy.
+	if code := wire.CodeForError(err); code != "" {
+		fmt.Fprintf(os.Stderr, "archcheck: %s: %v\n", code, err)
+	} else {
+		fmt.Fprintln(os.Stderr, "archcheck:", err)
+	}
 	os.Exit(1)
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/icrns"
 	"repro/internal/profflag"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -181,6 +182,12 @@ func lookup(reqName, colName string) (icrns.Row, icrns.Column, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "icrns:", err)
+	// Budget and abort failures carry the same named code here as in
+	// taserved's wire responses, so scripts can match one taxonomy.
+	if code := wire.CodeForError(err); code != "" {
+		fmt.Fprintf(os.Stderr, "icrns: %s: %v\n", code, err)
+	} else {
+		fmt.Fprintln(os.Stderr, "icrns:", err)
+	}
 	os.Exit(1)
 }

@@ -192,6 +192,12 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tacheck:", err)
+	// Budget and abort failures carry the same named code here as in
+	// taserved's wire responses, so scripts can match one taxonomy.
+	if code := wire.CodeForError(err); code != "" {
+		fmt.Fprintf(os.Stderr, "tacheck: %s: %v\n", code, err)
+	} else {
+		fmt.Fprintln(os.Stderr, "tacheck:", err)
+	}
 	os.Exit(1)
 }

@@ -10,8 +10,11 @@
 // Sites are plain strings agreed between the instrumented code and the chaos
 // tests:
 //
-//	core/worker — fired once per expansion in the explorer worker loop
-//	serve/job   — fired when a job transitions to running, before its sweep
+//	core/worker    — fired once per expansion in the explorer worker loop
+//	serve/job      — fired when a job transitions to running, before its sweep
+//	serve/dispatch — fired as a proxy job starts routing to its owner node;
+//	                 an injected error degrades the dispatch to local compute,
+//	                 a panic is contained like any other job crash
 //
 // The registry is concurrency-safe: chaos tests run parallel sweeps under
 // -race while the armed fault fires on some worker.

@@ -1,0 +1,259 @@
+// Package client is the typed Go client of the taserved HTTP API: the
+// /v1/ job lifecycle (submit, status, result, trace, cancel) plus the
+// operational endpoints, speaking the internal/serve/api contract. Every
+// call takes a context; non-2xx responses surface as *APIError carrying the
+// HTTP status and the structured wire.ErrorResponse body (including the
+// server's retry guidance on overload rejections). The package depends only
+// on the contract types, so server-side tests can use it without import
+// cycles.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve/api"
+	"repro/internal/wire"
+)
+
+// Client talks to one taserved node.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the node at base (e.g. "http://127.0.0.1:8080").
+// A nil httpClient selects http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response: the HTTP status plus the decoded
+// structured body.
+type APIError struct {
+	Status int
+	Body   wire.ErrorResponse
+}
+
+func (e *APIError) Error() string {
+	msg := e.Body.Error
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	if e.Body.Code != "" {
+		return fmt.Sprintf("taserved: %s (%s, HTTP %d)", msg, e.Body.Code, e.Status)
+	}
+	return fmt.Sprintf("taserved: %s (HTTP %d)", msg, e.Status)
+}
+
+// Retryable reports whether the server marked this rejection as worth
+// retrying (overload shedding), and after how long including the requested
+// jitter budget.
+func (e *APIError) Retryable() (time.Duration, bool) {
+	if e.Body.RetryAfterMS <= 0 {
+		return 0, false
+	}
+	return time.Duration(e.Body.RetryAfterMS+e.Body.RetryJitterMS) * time.Millisecond, true
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// apiError decodes a non-2xx body into an *APIError; bodies that are not a
+// wire.ErrorResponse (e.g. the 409 job-state bodies) keep their raw text as
+// the message.
+func apiError(status int, body []byte) *APIError {
+	e := &APIError{Status: status}
+	if json.Unmarshal(body, &e.Body) != nil || e.Body.Error == "" {
+		if e.Body.Error == "" {
+			e.Body.Error = strings.TrimSpace(string(body))
+		}
+	}
+	return e
+}
+
+// Submit posts one analysis. The response reports the content-addressed job
+// id and whether the submission started a new job, joined a live twin, or
+// hit a cached result (state done).
+func (c *Client) Submit(ctx context.Context, req *api.SubmitRequest) (*api.SubmitResponse, error) {
+	status, body, err := c.do(ctx, http.MethodPost, "/v1/jobs", req)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK && status != http.StatusAccepted {
+		return nil, apiError(status, body)
+	}
+	var sr api.SubmitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// Status fetches one job's state and live progress.
+func (c *Client) Status(ctx context.Context, id string) (*api.StatusResponse, error) {
+	status, body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(status, body)
+	}
+	var st api.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Await polls Status until the job reaches a terminal state or the context
+// ends. interval <= 0 selects a 2ms poll (tests want tight loops; production
+// callers should pass something kinder).
+func (c *Client) Await(ctx context.Context, id string, interval time.Duration) (*api.StatusResponse, error) {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case api.StateDone, api.StateFailed, api.StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Result returns a done job's raw wire bytes, exactly as the server stored
+// them — callers comparing against CLI output must not re-encode.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	status, body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(status, body)
+	}
+	return body, nil
+}
+
+// Trace returns a done job's captured witness traces, optionally restricted
+// to one requirement name (req == "" fetches all).
+func (c *Client) Trace(ctx context.Context, id, req string) (map[string]string, error) {
+	path := "/v1/jobs/" + id + "/trace"
+	if req != "" {
+		path += "?req=" + req
+	}
+	status, body, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(status, body)
+	}
+	var traces map[string]string
+	if err := json.Unmarshal(body, &traces); err != nil {
+		return nil, err
+	}
+	return traces, nil
+}
+
+// Cancel requests cooperative cancellation and reports the job's state
+// immediately after.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.CancelResponse, error) {
+	status, body, err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(status, body)
+	}
+	var cr api.CancelResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// Healthz fetches the node's graded health. ok mirrors the HTTP status: true
+// for 200, false for a degraded 503 (the body is valid either way).
+func (c *Client) Healthz(ctx context.Context) (body map[string]any, ok bool, err error) {
+	status, raw, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if status != http.StatusOK && status != http.StatusServiceUnavailable {
+		return nil, false, apiError(status, raw)
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return nil, false, err
+	}
+	return body, status == http.StatusOK, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	status, body, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK {
+		return "", apiError(status, body)
+	}
+	return string(body), nil
+}
+
+// Metric extracts one gauge/counter value from a Prometheus text exposition
+// (exact name match, labels included). Shared by tests and the smoke tool.
+func Metric(metrics, name string) (int64, bool) {
+	for _, line := range strings.Split(metrics, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v int64
+			if _, err := fmt.Sscanf(fields[1], "%d", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

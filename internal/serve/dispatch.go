@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/serve/api"
+	"repro/internal/wire"
+)
+
+// This file is the cluster half of the job manager: how a submission owned by
+// a peer becomes a local proxy job, how completion events turn back into job
+// results, and how this node's own completions are announced. Everything here
+// reduces to a no-op under the default local backend.
+//
+// Ownership invariant: exactly one node — dispatch.Owner(key) — computes a
+// content key; every other frontend holds a proxy job (workers == 0, no
+// grant) that waits on the key's completion topic. The owner's job table
+// dedupes concurrent envelopes exactly like concurrent local submissions, so
+// the cluster-wide exploration count for one key is 1. Degraded paths
+// (backend down, envelope undeliverable, broker death mid-wait) fall back to
+// computing locally under a freshly acquired grant — correctness never
+// depends on the transport, only singleflight breadth does.
+
+// proxyRun builds the run closure of a proxy job: subscribe to the key's
+// completion topic, ship the envelope to the owner, wait for the relayed
+// terminal event. Watch starts before Send so the completion of a fast owner
+// cannot slip between the two.
+func (m *Manager) proxyRun(spec jobSpec, model *modelEntry, req *SubmitRequest, owner string) runFunc {
+	return func(j *job) ([]byte, map[string]string, error) {
+		if faultinject.Enabled {
+			if ferr := faultinject.Fire("serve/dispatch"); ferr != nil {
+				return m.localFallback(spec, model, j)
+			}
+		}
+		envelope, err := json.Marshal(req)
+		if err != nil {
+			return m.localFallback(spec, model, j)
+		}
+		// Buffered by one and drop-on-full: events are terminal, the first
+		// decides the job; at-least-once duplicates are discarded here.
+		evCh := make(chan api.CompletionEvent, 1)
+		cancelWatch, err := m.dispatch.Watch(j.id, func(ev api.CompletionEvent) {
+			select {
+			case evCh <- ev:
+			default:
+			}
+		})
+		if err != nil {
+			return m.localFallback(spec, model, j)
+		}
+		defer cancelWatch()
+		if err := m.dispatch.Send(owner, envelope); err != nil {
+			return m.localFallback(spec, model, j)
+		}
+
+		var expired <-chan time.Time
+		if !j.deadline.IsZero() {
+			timer := time.NewTimer(time.Until(j.deadline))
+			defer timer.Stop()
+			expired = timer.C
+		}
+		select {
+		case ev := <-evCh:
+			if ev.State == api.StateFailed && ev.Error == wire.CodeDispatchFailed {
+				// The transport died while we waited (synthetic event): the
+				// owner may never have seen the envelope. Compute locally
+				// rather than surface a transport failure for computable work.
+				return m.localFallback(spec, model, j)
+			}
+			return m.adoptEvent(ev)
+		case <-expired:
+			return nil, nil, core.ErrDeadlineExceeded
+		case <-j.cancelCh:
+			// Cancel releases only this frontend's interest; the owner keeps
+			// computing for its other watchers. Deadline precedence mirrors
+			// cpuTokens.acquire.
+			if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+				return nil, nil, core.ErrDeadlineExceeded
+			}
+			return nil, nil, core.ErrCanceled
+		}
+	}
+}
+
+// localFallback degrades a proxy job to a node-local computation. The proxy
+// was admitted without a grant, so the fallback acquires the submission's
+// real grant first — degraded routing never bypasses admission control.
+func (m *Manager) localFallback(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
+	m.fallbacks.Add(1)
+	if err := m.tokens.acquire(j.cancelCh, j.deadline, spec.Workers, spec.MaxBytes); err != nil {
+		return nil, nil, err
+	}
+	defer m.tokens.release(spec.Workers, spec.MaxBytes)
+	return m.runFunc(spec, model)(j)
+}
+
+// adoptEvent turns a relayed completion into this job's outcome. Done events
+// carry the owner's wire bytes verbatim — they are returned untouched and
+// fed to the replicated cache. Failure codes are mapped back to the core
+// sentinels (wire.ErrorForCode) so job.finish renames them identically to a
+// local failure; unnamed failures travel as their message.
+func (m *Manager) adoptEvent(ev api.CompletionEvent) ([]byte, map[string]string, error) {
+	switch ev.State {
+	case api.StateDone:
+		m.remoteHits.Add(1)
+		m.results.Put(ev)
+		return ev.Result, ev.Traces, nil
+	case api.StateCanceled:
+		return nil, nil, core.ErrCanceled
+	default:
+		if serr := wire.ErrorForCode(ev.Error); serr != nil {
+			return nil, nil, serr
+		}
+		return nil, nil, errors.New(ev.Error)
+	}
+}
+
+// handleEnvelope runs a dispatch envelope addressed to this node. The
+// envelope is the sender's SubmitRequest verbatim and normalization is
+// deterministic, so the re-derived content hash matches the sender's job id
+// and the job table dedupes N frontends' envelopes into one computation.
+// Admission rejections are announced as failed completions (overloaded /
+// shutting_down) so waiting proxies fail fast instead of timing out.
+func (m *Manager) handleEnvelope(envelope []byte) {
+	var req SubmitRequest
+	if err := json.Unmarshal(envelope, &req); err != nil {
+		return
+	}
+	spec, model, herr := m.normalize(&req)
+	if herr != nil {
+		// The sender normalized these same bytes successfully; a failure here
+		// means version skew. Nothing useful to announce without a key.
+		return
+	}
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		return
+	}
+	id := hashBytes(string(canon))
+	deadline := time.Time{}
+	if spec.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	} else if m.cfg.DefaultDeadline > 0 {
+		deadline = time.Now().Add(m.cfg.DefaultDeadline)
+	}
+	_, _, err = m.jobs.submit(id, spec.Kind, spec.Workers, spec.MaxBytes, deadline, m.runFunc(spec, model))
+	switch err {
+	case nil:
+		// Completion (including a joined live twin's) is announced by the
+		// onFinish hook; an already-done twin was announced when it finished
+		// and its event is retained by the broker for late subscribers.
+	case errBusy:
+		m.shed.Add(1)
+		_ = m.dispatch.Announce(api.CompletionEvent{
+			Key: id, Node: m.dispatch.Self(), Kind: spec.Kind,
+			State: api.StateFailed, Error: wire.CodeOverloaded,
+		})
+	case errShuttingDown:
+		_ = m.dispatch.Announce(api.CompletionEvent{
+			Key: id, Node: m.dispatch.Self(), Kind: spec.Kind,
+			State: api.StateFailed, Error: wire.CodeShuttingDown,
+		})
+	}
+}
+
+// announceJob is the jobManager's onFinish hook: relay an executed job's
+// terminal state cluster-wide. Proxy and fallback jobs (workers == 0) stay
+// silent — announcing is the owner's job, and a proxy's local abort (cancel,
+// deadline) must never overwrite the retained real completion of its key.
+// The local backend reduces this to a snapshot and two no-ops.
+func (m *Manager) announceJob(j *job) {
+	if j.workers == 0 {
+		return
+	}
+	state, errMsg, _, _ := j.snapshot()
+	ev := api.CompletionEvent{Key: j.id, Node: m.dispatch.Self(), Kind: j.kind, State: state}
+	if state == api.StateDone {
+		// Terminal: result/traces are immutable now, and this hook runs on
+		// the goroutine that wrote them.
+		ev.Result, ev.Traces = j.result, j.traces
+	} else {
+		ev.Error = errMsg
+	}
+	// Feed our own replica directly too — the broker loops announcements
+	// back, but the cache must not depend on that; Put is idempotent and
+	// ignores non-done states.
+	m.results.Put(ev)
+	_ = m.dispatch.Announce(ev)
+}

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve/api"
+	"repro/internal/wire"
+)
+
+// This file is the HTTP facade: decoding, status codes, and routing. All job
+// semantics live in the Manager; every handler is a thin translation onto it.
+
+// Handler returns the HTTP API. The contract is versioned under /v1/; the
+// operational endpoints keep their historical unversioned paths as aliases.
+//
+//	POST /v1/jobs             submit an analysis; returns the job id
+//	GET  /v1/jobs/{id}        status + live progress
+//	GET  /v1/jobs/{id}/result the wire result (done jobs only)
+//	GET  /v1/jobs/{id}/trace  captured witness traces
+//	POST /v1/jobs/{id}/cancel cooperative cancellation
+//	GET  /v1/healthz          liveness + counts (alias: /healthz)
+//	GET  /v1/metrics          Prometheus text metrics (alias: /metrics)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type httpError struct {
+	status int
+	code   string
+	msg    string
+	// retryAfter, when nonzero, marks the rejection as retryable: it becomes
+	// the Retry-After header and the structured retry guidance on the wire.
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, code: wire.CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders any error as a structured wire.ErrorResponse. Retryable
+// rejections additionally carry a Retry-After header plus jittered-backoff
+// guidance in the body: the client should wait retry_after_ms plus up to
+// retry_jitter_ms of uniform random slack, so a herd of shed clients spreads
+// out instead of stampeding back together.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	body := wire.ErrorResponse{Error: err.Error(), Code: wire.CodeInternal}
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+		body.Code = he.code
+		if he.retryAfter > 0 {
+			body.RetryAfterMS = he.retryAfter.Milliseconds()
+			body.RetryJitterMS = body.RetryAfterMS / 2
+			w.Header().Set("Retry-After", fmt.Sprint(int64((he.retryAfter+time.Second-1)/time.Second)))
+		}
+	}
+	writeJSON(w, status, body)
+}
+
+// maxBodyBytes bounds submissions; model sources are text, 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		s.submissions.Add(1)
+		writeError(w, badRequest("reading body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		s.submissions.Add(1)
+		writeError(w, &httpError{
+			status: http.StatusRequestEntityTooLarge,
+			code:   wire.CodeBodyTooLarge,
+			msg:    fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes),
+		})
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.submissions.Add(1)
+		writeError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	resp, err := s.Submit(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if resp.State == StateDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *job {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, &httpError{status: http.StatusNotFound, code: wire.CodeNotFound, msg: "unknown job"})
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, errMsg, started, finished := j.snapshot()
+	p := j.mon.Snapshot()
+	resp := StatusResponse{
+		JobID:       j.id,
+		Kind:        j.kind,
+		State:       state,
+		Error:       errMsg,
+		SubmittedAt: j.submitted,
+		Progress: ProgressBody{
+			Stored:       p.Stored,
+			Popped:       p.Popped,
+			Transitions:  p.Transitions,
+			Deadlocks:    p.Deadlocks,
+			Frontier:     p.Frontier,
+			Workers:      p.Workers,
+			Running:      p.Running,
+			StoredBytes:  p.StoredBytes,
+			InternHits:   p.InternHits,
+			InternMisses: p.InternMisses,
+		},
+	}
+	if !started.IsZero() {
+		resp.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		resp.FinishedAt = &finished
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, errMsg, _, _ := j.snapshot()
+	if state != StateDone {
+		status := http.StatusConflict
+		body := map[string]string{"state": state}
+		if errMsg != "" {
+			body["error"] = errMsg
+		}
+		writeJSON(w, status, body)
+		return
+	}
+	j.mu.Lock()
+	data := j.result
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, _, _, _ := j.snapshot()
+	if state != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]string{"state": state})
+		return
+	}
+	j.mu.Lock()
+	traces := j.traces
+	j.mu.Unlock()
+	if len(traces) == 0 {
+		writeError(w, &httpError{status: http.StatusNotFound, code: wire.CodeNotFound,
+			msg: "no traces captured (arch jobs record them when submitted with options.witness)"})
+		return
+	}
+	if req := r.URL.Query().Get("req"); req != "" {
+		t, ok := traces[req]
+		if !ok {
+			writeError(w, &httpError{status: http.StatusNotFound, code: wire.CodeNotFound, msg: "no trace for " + req})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{req: t})
+		return
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	state, errMsg, _, _ := j.snapshot()
+	writeJSON(w, http.StatusOK, api.CancelResponse{JobID: j.id, State: state, Error: errMsg})
+}
+
+// handleHealthz reports graded health, not a flat 200: the body carries the
+// admission pressure (queue depth, CPU-token and memory-budget saturation),
+// the result-cache hit rate, and the node's cluster view (node id, peer
+// count, remote hit rate), and when admission is saturated — new submissions
+// would be shed — the endpoint flips to ok:false / 503 so load balancers
+// steer traffic away while the node keeps draining its backlog and serving
+// cached results. Degradation is judged per node: a saturated node sheds even
+// when its peers are idle.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	active, retained := s.jobs.counts()
+	c := s.Stats()
+	inUse := s.tokens.inUse()
+	degraded := active >= s.cfg.MaxActiveJobs
+	hitRate := 0.0
+	if c.Submissions > 0 {
+		hitRate = float64(c.ResultHits) / float64(c.Submissions)
+	}
+	remoteRate := 0.0
+	if c.Submissions > 0 {
+		remoteRate = float64(c.RemoteHits) / float64(c.Submissions)
+	}
+	storedBytes, ihits, imisses := s.jobs.storedFootprint()
+	internRate := 0.0
+	if ihits+imisses > 0 {
+		internRate = float64(ihits) / float64(ihits+imisses)
+	}
+	body := map[string]any{
+		"ok":                    !degraded,
+		"degraded":              degraded,
+		"uptime_s":              int64(time.Since(s.start).Seconds()),
+		"active_jobs":           active,
+		"max_active_jobs":       s.cfg.MaxActiveJobs,
+		"retained_jobs":         retained,
+		"queue_depth":           s.tokens.waiting(),
+		"cpu_tokens":            s.cfg.CPUTokens,
+		"tokens_in_use":         inUse,
+		"cpu_saturation":        float64(inUse) / float64(s.cfg.CPUTokens),
+		"memory_budget_bytes":   s.cfg.MemoryBudget,
+		"memory_in_use_bytes":   s.tokens.bytesInUse(),
+		"stored_zone_bytes":     storedBytes,
+		"intern_hit_rate":       internRate,
+		"shed_total":            c.Shed,
+		"result_cache_hit_rate": hitRate,
+		"node_id":               s.dispatch.Self(),
+		"peer_count":            len(s.dispatch.Nodes()),
+		"remote_hit_rate":       remoteRate,
+		"replicated_results":    s.results.Len(),
+	}
+	if s.cfg.MemoryBudget > 0 {
+		// Saturation takes the worse of the two memory views: granted
+		// admission bytes (what jobs reserved) and the live stores' actual
+		// packed footprint (what is resident right now). Granted normally
+		// dominates — compact zones keep actual use under the grant — so a
+		// stored-bytes overtake means the budget accounting is drifting and
+		// the node should shed before the kernel notices.
+		used := s.tokens.bytesInUse()
+		if storedBytes > used {
+			used = storedBytes
+		}
+		body["memory_saturation"] = float64(used) / float64(s.cfg.MemoryBudget)
+	}
+	status := http.StatusOK
+	if degraded {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c := s.Stats()
+	active, retained := s.jobs.counts()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "taserved_submissions_total %d\n", c.Submissions)
+	fmt.Fprintf(w, "taserved_jobs_deduped_total %d\n", c.DedupedLive)
+	fmt.Fprintf(w, "taserved_result_cache_hits_total %d\n", c.ResultHits)
+	fmt.Fprintf(w, "taserved_explorations_total %d\n", c.Explorations)
+	fmt.Fprintf(w, "taserved_jobs_canceled_total %d\n", c.Canceled)
+	fmt.Fprintf(w, "taserved_jobs_deadline_exceeded_total %d\n", c.Expired)
+	fmt.Fprintf(w, "taserved_model_cache_hits_total %d\n", c.ModelHits)
+	fmt.Fprintf(w, "taserved_model_cache_misses_total %d\n", c.ModelMisses)
+	fmt.Fprintf(w, "taserved_model_cache_entries %d\n", s.models.len())
+	fmt.Fprintf(w, "taserved_compile_cache_hits_total %d\n", c.CompileHits)
+	fmt.Fprintf(w, "taserved_compile_cache_misses_total %d\n", c.CompileMisses)
+	fmt.Fprintf(w, "taserved_compile_cache_entries %d\n", s.compiled.len())
+	fmt.Fprintf(w, "taserved_jobs_active %d\n", active)
+	fmt.Fprintf(w, "taserved_jobs_retained %d\n", retained)
+	fmt.Fprintf(w, "taserved_cpu_tokens_total %d\n", s.cfg.CPUTokens)
+	fmt.Fprintf(w, "taserved_cpu_tokens_in_use %d\n", s.tokens.inUse())
+	fmt.Fprintf(w, "taserved_admission_queue_depth %d\n", s.tokens.waiting())
+	fmt.Fprintf(w, "taserved_memory_budget_bytes %d\n", s.cfg.MemoryBudget)
+	fmt.Fprintf(w, "taserved_memory_in_use_bytes %d\n", s.tokens.bytesInUse())
+	storedBytes, ihits, imisses := s.jobs.storedFootprint()
+	fmt.Fprintf(w, "taserved_stored_zone_bytes %d\n", storedBytes)
+	fmt.Fprintf(w, "taserved_intern_hits_total %d\n", ihits)
+	fmt.Fprintf(w, "taserved_intern_misses_total %d\n", imisses)
+	fmt.Fprintf(w, "taserved_shed_total %d\n", c.Shed)
+	fmt.Fprintf(w, "taserved_node_info{node=%q} 1\n", s.dispatch.Self())
+	fmt.Fprintf(w, "taserved_peer_count %d\n", len(s.dispatch.Nodes()))
+	fmt.Fprintf(w, "taserved_dispatched_total %d\n", c.Dispatched)
+	fmt.Fprintf(w, "taserved_remote_hits_total %d\n", c.RemoteHits)
+	fmt.Fprintf(w, "taserved_dispatch_fallbacks_total %d\n", c.DispatchFallbacks)
+	fmt.Fprintf(w, "taserved_replicated_results %d\n", s.results.Len())
+}

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/serve/api"
+	"repro/internal/wire"
 )
 
 // This file is the execution half of the service: a global resource
@@ -24,20 +26,21 @@ import (
 // admitted with fails alone (ErrMemoryBudget, partial stats) instead of
 // OOM-killing the node and every queued job with it.
 
-// Job states on the wire.
+// Job states on the wire — aliases of the api contract.
 const (
-	StateQueued   = "queued"   // admitted, waiting for CPU tokens
-	StateRunning  = "running"  // holding tokens, sweep in progress
-	StateDone     = "done"     // result available
-	StateFailed   = "failed"   // analysis error (DeadlineExceeded included)
-	StateCanceled = "canceled" // canceled by a client or by shutdown
+	StateQueued   = api.StateQueued
+	StateRunning  = api.StateRunning
+	StateDone     = api.StateDone
+	StateFailed   = api.StateFailed
+	StateCanceled = api.StateCanceled
 )
 
-// Named failures the wire exposes for resource-bounded jobs.
+// Named failures the wire exposes for resource-bounded jobs — aliases of the
+// shared wire taxonomy so node-local and relayed failures use one spelling.
 const (
-	errDeadlineExceeded = "DeadlineExceeded"
-	errMemoryBudget     = "MemoryBudgetExceeded"
-	errStateBudget      = "StateBudgetExceeded"
+	errDeadlineExceeded = wire.CodeDeadlineExceeded
+	errMemoryBudget     = wire.CodeMemoryBudget
+	errStateBudget      = wire.CodeStateBudget
 )
 
 // cpuTokens is the admission controller: a FIFO counting semaphore over the
@@ -278,6 +281,12 @@ func (j *job) terminal() bool {
 type jobManager struct {
 	tokens *cpuTokens
 
+	// onFinish, when set, observes every executed job reaching a terminal
+	// state (adopted cache hits excluded — they were announced by the node
+	// that computed them). The manager uses it to announce completions to the
+	// dispatch backend. Called outside m.mu.
+	onFinish func(*job)
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	finished    *list.List // of job ids, front = most recently finished/hit
@@ -348,16 +357,31 @@ func (m *jobManager) submit(id, kind string, workers int, memBytes int64, deadli
 
 func (m *jobManager) execute(j *job, run runFunc) {
 	defer m.wg.Done()
-	if err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers, j.memBytes); err != nil {
-		j.finish(nil, nil, err)
-		m.onTerminal(j)
-		return
+	// A proxy job (workers == 0) holds no grant: the compute — and its
+	// admission — happens on the node that owns the content key; this
+	// goroutine only waits for the relayed completion.
+	if j.workers > 0 {
+		if err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers, j.memBytes); err != nil {
+			j.finish(nil, nil, err)
+			m.noteFinish(j)
+			m.onTerminal(j)
+			return
+		}
 	}
 	j.setRunning()
 	result, traces, err := runContained(j, run)
-	m.tokens.release(j.workers, j.memBytes)
+	if j.workers > 0 {
+		m.tokens.release(j.workers, j.memBytes)
+	}
 	j.finish(result, traces, err)
+	m.noteFinish(j)
 	m.onTerminal(j)
+}
+
+func (m *jobManager) noteFinish(j *job) {
+	if m.onFinish != nil {
+		m.onFinish(j)
+	}
 }
 
 // runContained executes the job closure with panic containment: a crash in
@@ -407,6 +431,46 @@ func (m *jobManager) dropLocked(id string) {
 		delete(m.finIndex, id)
 	}
 	delete(m.jobs, id)
+}
+
+// adopt installs an already-completed result — a replicated-cache hit — as a
+// done job, so status/result/trace serve it exactly like a locally computed
+// one (no goroutine, no grant, Created=false). A live or successfully
+// finished twin is joined instead, same as submit; a failed or canceled twin
+// is replaced by the adopted result, same as submit's fresh attempt. Returns
+// the job plus whether the cached event was installed (false = joined an
+// existing entry), or nil when the manager is shutting down.
+func (m *jobManager) adopt(id string, ev api.CompletionEvent) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false
+	}
+	if j := m.jobs[id]; j != nil {
+		state, _, _, _ := j.snapshot()
+		if state != StateFailed && state != StateCanceled {
+			if el := m.finIndex[id]; el != nil {
+				m.finished.MoveToFront(el)
+			}
+			return j, false
+		}
+		m.dropLocked(id)
+	}
+	j := newJob(id, ev.Kind, 0, 0, time.Time{})
+	j.mu.Lock()
+	j.state = StateDone
+	j.started = j.submitted
+	j.finished = time.Now()
+	j.result = ev.Result
+	j.traces = ev.Traces
+	j.mu.Unlock()
+	close(j.done)
+	m.jobs[id] = j
+	m.finIndex[id] = m.finished.PushFront(id)
+	for m.finished.Len() > m.maxFinished {
+		m.dropLocked(m.finished.Back().Value.(string))
+	}
+	return j, true
 }
 
 // get looks a job up by id.

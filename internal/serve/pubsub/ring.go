@@ -1,0 +1,67 @@
+package pubsub
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the cluster member list: every node
+// builds it from the same (sorted, deduplicated) membership and therefore
+// derives the same owner for every content key with no coordination. Virtual
+// nodes smooth the key distribution; with the replica count below, a
+// three-node ring splits keys within a few percent of evenly.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ringReplicas is the virtual-node count per member.
+const ringReplicas = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func newRing(nodes []string) *ring {
+	uniq := make(map[string]bool, len(nodes))
+	r := &ring{}
+	for _, n := range nodes {
+		if n == "" || uniq[n] {
+			continue
+		}
+		uniq[n] = true
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on the node id so equal hashes still order identically on
+		// every member.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// owner maps a content key to its owning node: the first virtual node at or
+// after the key's hash, wrapping around.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/icrns"
+	"repro/internal/serve/client"
 	"repro/internal/wire"
 )
 
@@ -60,49 +62,38 @@ func getBody(t *testing.T, url string) (int, []byte) {
 	return resp.StatusCode, out
 }
 
-// submit POSTs the request and returns the decoded response.
+// submit posts the request through the typed client and returns the
+// response.
 func submit(t *testing.T, base string, req SubmitRequest) SubmitResponse {
 	t.Helper()
-	code, body := postJSON(t, base+"/v1/jobs", req)
-	if code != http.StatusAccepted && code != http.StatusOK {
-		t.Fatalf("submit: status %d: %s", code, body)
+	sr, err := client.New(base, nil).Submit(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
-	var sr SubmitResponse
-	if err := json.Unmarshal(body, &sr); err != nil {
-		t.Fatalf("submit: %v: %s", err, body)
-	}
-	return sr
+	return *sr
 }
 
-// await polls until the job reaches a terminal state.
+// await polls through the typed client until the job reaches a terminal
+// state.
 func await(t *testing.T, base, id string, timeout time.Duration) StatusResponse {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		code, body := getBody(t, base+"/v1/jobs/"+id)
-		if code != http.StatusOK {
-			t.Fatalf("status: %d: %s", code, body)
-		}
-		var st StatusResponse
-		if err := json.Unmarshal(body, &st); err != nil {
-			t.Fatal(err)
-		}
-		switch st.State {
-		case StateDone, StateFailed, StateCanceled:
-			return st
-		}
-		if time.Now().After(deadline) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := client.New(base, nil).Await(ctx, id, 0)
+	if err != nil {
+		if st != nil {
 			t.Fatalf("job %s still %s after %v (progress %+v)", id, st.State, timeout, st.Progress)
 		}
-		time.Sleep(2 * time.Millisecond)
+		t.Fatalf("await %s: %v", id, err)
 	}
+	return *st
 }
 
 func result(t *testing.T, base, id string) wire.ArchResponse {
 	t.Helper()
-	code, body := getBody(t, base+"/v1/jobs/"+id+"/result")
-	if code != http.StatusOK {
-		t.Fatalf("result: %d: %s", code, body)
+	body, err := client.New(base, nil).Result(context.Background(), id)
+	if err != nil {
+		t.Fatalf("result: %v", err)
 	}
 	var ar wire.ArchResponse
 	if err := json.Unmarshal(body, &ar); err != nil {

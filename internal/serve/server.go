@@ -1,26 +1,31 @@
 // Package serve exposes the whole analysis stack — ta parse/validate,
-// arch compilation, the core multi-query engine — as a concurrent HTTP JSON
-// service (command taserved). The design centers on three ideas:
+// arch compilation, the core multi-query engine — as a concurrent job
+// service (command taserved). The package splits into three layers:
 //
-//   - Content addressing: a submission is normalized (defaults applied,
-//     requirement sets resolved) and hashed; the hash is the job id AND the
-//     result-cache key. Identical submissions — concurrent or repeated —
-//     share one job, one compilation, one exploration, and receive
-//     bit-identical response bytes.
-//   - Layered singleflight caches: parsed models by source hash, compiled
-//     networks by (model, requirement-set, horizon) hash, results by the full
-//     submission hash. A thundering herd of identical requests costs exactly
-//     one parse, one compile, one sweep.
-//   - Bounded concurrency: a global CPU-token pool admits jobs FIFO; a job
-//     holds as many tokens as it runs exploration workers, so simultaneous
-//     analyses never oversubscribe the host. Cancellation and wall-clock
-//     deadlines thread through core.Options into the worker loop, so a
-//     canceled or expired job stops promptly and reports partial progress.
+//   - A transport-agnostic job Manager: submissions are normalized and
+//     content-hashed (the hash is the job id AND the result-cache key),
+//     admitted under a global CPU-token/memory-grant pool, executed through
+//     layered singleflight caches (parsed model / compiled network / result),
+//     and answered with wire bytes identical to the CLIs' -json output. The
+//     Manager knows nothing about HTTP: its API speaks internal/serve/api
+//     request/response values.
+//   - Two pluggable backend seams (backend.go): Dispatch routes a submission
+//     to the node owning its content hash and relays completion events;
+//     ResultCache replicates finished results so any frontend answers any
+//     cached submission. The default local backends make a Manager exactly
+//     the historical single-node server; internal/serve/pubsub implements
+//     both over a publish/subscribe broker for fleet deployments, with
+//     cluster-wide singleflight (the owner computes once, twins on every
+//     frontend wait for the completion event).
+//   - A thin HTTP facade (http.go): Server embeds the Manager and mounts the
+//     JSON endpoints under /v1/ (with the historical unversioned operational
+//     paths kept as aliases).
 //
 // Verdicts are computed by exactly the code paths the CLIs use
 // (arch.CompileAll + CompiledSet.Analyze, wire.TARun) and encoded by the
-// shared internal/wire package, so service results are bit-identical to
-// archcheck/tacheck -json output for the same model and options.
+// shared internal/wire package; completion events relay those bytes
+// verbatim, so a result is bit-identical whether it was computed locally,
+// computed on a peer, or served from a replicated cache.
 package serve
 
 import (
@@ -29,7 +34,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -37,11 +41,23 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/serve/api"
 	"repro/internal/ta"
 	"repro/internal/wire"
 )
 
-// Config tunes one Server. Zero values select the documented defaults.
+// The transport contract lives in internal/serve/api so the typed client and
+// the dispatch backends can share it without import cycles; the aliases keep
+// every existing reference through this package valid.
+type (
+	SubmitRequest  = api.SubmitRequest
+	SubmitOptions  = api.SubmitOptions
+	SubmitResponse = api.SubmitResponse
+	StatusResponse = api.StatusResponse
+	ProgressBody   = api.ProgressBody
+)
+
+// Config tunes one Manager. Zero values select the documented defaults.
 type Config struct {
 	// CPUTokens is the global admission budget: the maximum number of
 	// exploration workers running at once across all jobs. Default: NumCPU.
@@ -67,6 +83,12 @@ type Config struct {
 	// submission fails alone with MemoryBudgetExceeded instead of OOM-killing
 	// the node. Zero = memory unmetered.
 	MemoryBudget int64
+	// Dispatch selects the routing backend; nil = single-node (this node
+	// owns every submission, behavior identical to the pre-cluster server).
+	Dispatch Dispatch
+	// Results selects the replicated result cache; nil = none (the job table
+	// alone caches results, the single-node behavior).
+	Results ResultCache
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxCompiled <= 0 {
 		c.MaxCompiled = 128
 	}
+	if c.Dispatch == nil {
+		c.Dispatch = localDispatch{}
+	}
+	if c.Results == nil {
+		c.Results = noCache{}
+	}
 	return c
 }
 
@@ -96,200 +124,123 @@ type modelEntry struct {
 	net  *ta.Network
 }
 
-// Server is the analysis service. Create with New, mount Handler, stop with
-// Shutdown.
-type Server struct {
+// Manager is the transport-agnostic job service: it owns admission, the job
+// table, the caches, and the backend seams. Create with NewManager (or New
+// for the HTTP facade), stop with Shutdown.
+type Manager struct {
 	cfg      Config
 	start    time.Time
 	tokens   *cpuTokens
 	jobs     *jobManager
 	models   *flightCache[*modelEntry]
 	compiled *flightCache[*arch.CompiledSet]
+	dispatch Dispatch
+	results  ResultCache
 
 	submissions  atomic.Int64
 	dedupLive    atomic.Int64 // submissions that joined a queued/running job
 	resultHits   atomic.Int64 // submissions answered by a finished job
-	explorations atomic.Int64 // sweeps actually run
+	explorations atomic.Int64 // sweeps actually run on THIS node
 	canceled     atomic.Int64
 	expired      atomic.Int64
 	shed         atomic.Int64 // submissions rejected 429 at admission
+	dispatched   atomic.Int64 // submissions routed to a peer (proxy jobs)
+	remoteHits   atomic.Int64 // submissions answered with peer-computed bytes
+	fallbacks    atomic.Int64 // dispatches degraded to local compute
+	// dispatchDown latches a backend that failed to register its envelope
+	// handler at startup: routing is bypassed entirely (everything computes
+	// locally) because this node could never serve jobs it owns.
+	dispatchDown atomic.Bool
 }
 
-// New returns a ready server.
+// Server is the HTTP facade over a Manager. Create with New, mount Handler,
+// stop with Shutdown.
+type Server struct {
+	*Manager
+}
+
+// New returns a ready server (a Manager wearing its HTTP facade).
 func New(cfg Config) *Server {
+	return &Server{Manager: NewManager(cfg)}
+}
+
+// NewManager returns a ready transport-agnostic job manager.
+func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	tokens := newCPUTokens(cfg.CPUTokens, cfg.MemoryBudget)
-	return &Server{
+	m := &Manager{
 		cfg:      cfg,
 		start:    time.Now(),
 		tokens:   tokens,
 		jobs:     newJobManager(tokens, cfg.MaxActiveJobs, cfg.MaxFinishedJobs),
 		models:   newFlightCache[*modelEntry](cfg.MaxModels),
 		compiled: newFlightCache[*arch.CompiledSet](cfg.MaxCompiled),
+		dispatch: cfg.Dispatch,
+		results:  cfg.Results,
 	}
-}
-
-// Handler returns the HTTP API:
-//
-//	POST /v1/jobs             submit an analysis; returns the job id
-//	GET  /v1/jobs/{id}        status + live progress
-//	GET  /v1/jobs/{id}/result the wire result (done jobs only)
-//	GET  /v1/jobs/{id}/trace  captured witness traces
-//	POST /v1/jobs/{id}/cancel cooperative cancellation
-//	GET  /healthz             liveness + counts
-//	GET  /metrics             Prometheus text metrics
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	m.jobs.onFinish = m.announceJob
+	if err := m.dispatch.Receive(m.handleEnvelope); err != nil {
+		// A node that cannot receive envelopes must not advertise ownership:
+		// degrade to computing everything locally rather than black-holing
+		// the keys the ring maps to us.
+		m.dispatchDown.Store(true)
+	}
+	return m
 }
 
 // Shutdown stops intake, cancels every live job through the same cooperative
-// mechanism the cancel endpoint uses, and waits (bounded) for job goroutines
-// to drain. The HTTP listener is the caller's to close (http.Server.Shutdown
-// first, then this).
-func (s *Server) Shutdown(timeout time.Duration) error {
-	s.jobs.close()
-	return s.jobs.wait(timeout)
-}
-
-// Counters is a point-in-time view of the server's work, exposed for tests
-// and /metrics.
-type Counters struct {
-	Submissions   int64
-	DedupedLive   int64
-	ResultHits    int64
-	Explorations  int64
-	Canceled      int64
-	Expired       int64
-	Shed          int64
-	ModelHits     int64
-	ModelMisses   int64
-	CompileHits   int64
-	CompileMisses int64
-}
-
-// Stats samples the server counters.
-func (s *Server) Stats() Counters {
-	mh, mm := s.models.stats()
-	ch, cm := s.compiled.stats()
-	return Counters{
-		Submissions:   s.submissions.Load(),
-		DedupedLive:   s.dedupLive.Load(),
-		ResultHits:    s.resultHits.Load(),
-		Explorations:  s.explorations.Load(),
-		Canceled:      s.canceled.Load(),
-		Expired:       s.expired.Load(),
-		Shed:          s.shed.Load(),
-		ModelHits:     mh,
-		ModelMisses:   mm,
-		CompileHits:   ch,
-		CompileMisses: cm,
+// mechanism the cancel endpoint uses, waits (bounded) for job goroutines to
+// drain, and releases the dispatch backend's subscriptions. The HTTP
+// listener is the caller's to close (http.Server.Shutdown first, then this).
+func (m *Manager) Shutdown(timeout time.Duration) error {
+	m.jobs.close()
+	err := m.jobs.wait(timeout)
+	if cerr := m.dispatch.Close(); err == nil {
+		err = cerr
 	}
+	return err
 }
 
-// SubmitRequest is the body of POST /v1/jobs.
-type SubmitRequest struct {
-	// Kind selects the model format: "arch" (JSON architecture description,
-	// the archcheck input) or "ta" (textual timed-automata network, the
-	// tacheck input).
-	Kind string `json:"kind"`
-	// Model is the model source, verbatim.
-	Model string `json:"model"`
-	// Requirements optionally restricts an arch analysis to the named
-	// requirements, in the given order; empty means all, file order.
-	Requirements []string `json:"requirements,omitempty"`
-	// Queries lists the questions of a ta analysis; all of them ride one
-	// exploration.
-	Queries []wire.TAQuery `json:"queries,omitempty"`
-	Options SubmitOptions  `json:"options"`
+// Counters is a point-in-time view of the manager's work, exposed for tests
+// and /metrics. Explorations counts sweeps run on this node only — summing
+// it across a cluster measures cluster-wide singleflight.
+type Counters struct {
+	Submissions       int64
+	DedupedLive       int64
+	ResultHits        int64
+	Explorations      int64
+	Canceled          int64
+	Expired           int64
+	Shed              int64
+	Dispatched        int64
+	RemoteHits        int64
+	DispatchFallbacks int64
+	ModelHits         int64
+	ModelMisses       int64
+	CompileHits       int64
+	CompileMisses     int64
 }
 
-// SubmitOptions tunes one submission. Every field participates in the
-// content key: two submissions share a job (and its cached result) exactly
-// when their normalized forms coincide.
-type SubmitOptions struct {
-	// HorizonMS is the arch observation horizon (default 2000).
-	HorizonMS int64 `json:"horizon_ms,omitempty"`
-	// HorizonMSByReq overrides the horizon per requirement.
-	HorizonMSByReq map[string]int64 `json:"horizon_ms_by_req,omitempty"`
-	// QueueCap bounds the arch pending-event counters (default 8).
-	QueueCap int64 `json:"queue_cap,omitempty"`
-	// Workers is the exploration parallelism of this job — also the number
-	// of CPU tokens it holds while running. Clamped to [1, CPUTokens].
-	// Default 1 (service throughput comes from concurrent jobs).
-	Workers int `json:"workers,omitempty"`
-	// MaxStates truncates the exploration (0 = exhaustive).
-	MaxStates int `json:"max_states,omitempty"`
-	// StateBudget hard-caps the exploration: exceeding it fails the job with
-	// error "StateBudgetExceeded" (unlike max_states, which truncates).
-	StateBudget int `json:"state_budget,omitempty"`
-	// MaxBytes bounds the job's zone memory; exceeding it fails the job with
-	// error "MemoryBudgetExceeded" and partial progress. When the server
-	// runs with a global memory budget this is also the job's admission
-	// grant (clamped to the budget); 0 requests the server's default share.
-	MaxBytes int64 `json:"max_bytes,omitempty"`
-	// Order is the search order: bfs (default), df, rdf.
-	Order string `json:"order,omitempty"`
-	// Seed feeds rdf shuffling.
-	Seed int64 `json:"seed,omitempty"`
-	// MaxConst is the extrapolation horizon for ta sup queries.
-	MaxConst int64 `json:"max_const,omitempty"`
-	// DeadlineMS bounds the job's wall clock from submission (admission wait
-	// included); 0 selects the server default. An expired job fails with
-	// error "DeadlineExceeded".
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-	// Witness additionally captures a critical-instant trace per requirement
-	// (arch only; extra explorations) for GET …/trace.
-	Witness bool `json:"witness,omitempty"`
-}
-
-// SubmitResponse is the body answering POST /v1/jobs.
-type SubmitResponse struct {
-	JobID string `json:"job_id"`
-	// State is the job state at response time; "done" means the result is
-	// already available (result-cache hit).
-	State string `json:"state"`
-	// Created reports whether this submission started a new analysis; false
-	// means it joined a live twin or hit a finished result.
-	Created bool `json:"created"`
-}
-
-// StatusResponse is the body answering GET /v1/jobs/{id}.
-type StatusResponse struct {
-	JobID       string       `json:"job_id"`
-	Kind        string       `json:"kind"`
-	State       string       `json:"state"`
-	Error       string       `json:"error,omitempty"`
-	SubmittedAt time.Time    `json:"submitted_at"`
-	StartedAt   *time.Time   `json:"started_at,omitempty"`
-	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
-	Progress    ProgressBody `json:"progress"`
-}
-
-// ProgressBody is the live view of a running exploration, sampled from the
-// engine's per-worker counters.
-type ProgressBody struct {
-	Stored      int64 `json:"stored"`
-	Popped      int64 `json:"popped"`
-	Transitions int64 `json:"transitions"`
-	Deadlocks   int64 `json:"deadlocks"`
-	Frontier    int64 `json:"frontier"`
-	Workers     int   `json:"workers"`
-	Running     bool  `json:"running"`
-	// StoredBytes is the passed store's actual resident footprint: packed
-	// zone bytes plus interned discrete vectors.
-	StoredBytes int64 `json:"stored_bytes"`
-	// InternHits / InternMisses count discrete-vector intern lookups; the hit
-	// rate is the store's discrete-part sharing factor.
-	InternHits   int64 `json:"intern_hits"`
-	InternMisses int64 `json:"intern_misses"`
+// Stats samples the manager counters.
+func (m *Manager) Stats() Counters {
+	mh, mm := m.models.stats()
+	ch, cm := m.compiled.stats()
+	return Counters{
+		Submissions:       m.submissions.Load(),
+		DedupedLive:       m.dedupLive.Load(),
+		ResultHits:        m.resultHits.Load(),
+		Explorations:      m.explorations.Load(),
+		Canceled:          m.canceled.Load(),
+		Expired:           m.expired.Load(),
+		Shed:              m.shed.Load(),
+		Dispatched:        m.dispatched.Load(),
+		RemoteHits:        m.remoteHits.Load(),
+		DispatchFallbacks: m.fallbacks.Load(),
+		ModelHits:         mh,
+		ModelMisses:       mm,
+		CompileHits:       ch,
+		CompileMisses:     cm,
+	}
 }
 
 // jobSpec is the normalized submission — the hashed content. Field order and
@@ -335,93 +286,68 @@ func hashBytes(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-type httpError struct {
-	status int
-	code   string
-	msg    string
-	// retryAfter, when nonzero, marks the rejection as retryable: it becomes
-	// the Retry-After header and the structured retry guidance on the wire.
-	retryAfter time.Duration
-}
-
-func (e *httpError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) *httpError {
-	return &httpError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// writeError renders any error as a structured wire.ErrorResponse. Retryable
-// rejections additionally carry a Retry-After header plus jittered-backoff
-// guidance in the body: the client should wait retry_after_ms plus up to
-// retry_jitter_ms of uniform random slack, so a herd of shed clients spreads
-// out instead of stampeding back together.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	body := wire.ErrorResponse{Error: err.Error(), Code: "internal"}
-	if he, ok := err.(*httpError); ok {
-		status = he.status
-		body.Code = he.code
-		if he.retryAfter > 0 {
-			body.RetryAfterMS = he.retryAfter.Milliseconds()
-			body.RetryJitterMS = body.RetryAfterMS / 2
-			w.Header().Set("Retry-After", fmt.Sprint(int64((he.retryAfter+time.Second-1)/time.Second)))
-		}
-	}
-	writeJSON(w, status, body)
-}
-
-// maxBodyBytes bounds submissions; model sources are text, 8 MiB is generous.
-const maxBodyBytes = 8 << 20
-
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	s.submissions.Add(1)
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
-	if err != nil {
-		writeError(w, badRequest("reading body: %v", err))
-		return
-	}
-	if len(body) > maxBodyBytes {
-		writeError(w, &httpError{
-			status: http.StatusRequestEntityTooLarge,
-			code:   "body_too_large",
-			msg:    fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes),
-		})
-		return
-	}
-	var req SubmitRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, badRequest("decoding request: %v", err))
-		return
-	}
-	spec, model, herr := s.normalize(&req)
+// Submit is the transport-agnostic intake: normalize, content-hash, then
+// answer from (in order) the node-local job table, the replicated result
+// cache, or a fresh job — run locally when this node owns the content hash,
+// or dispatched to the owner with a local proxy job standing in for status,
+// cancel, and result serving. Errors are *httpError values carrying the
+// wire code and suggested HTTP status.
+func (m *Manager) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+	m.submissions.Add(1)
+	spec, model, herr := m.normalize(req)
 	if herr != nil {
-		writeError(w, herr)
-		return
+		return nil, herr
 	}
 	canon, err := json.Marshal(spec)
 	if err != nil {
-		writeError(w, err)
-		return
+		return nil, err
 	}
 	id := hashBytes(string(canon))
 
 	deadline := time.Time{}
 	if spec.DeadlineMS > 0 {
 		deadline = time.Now().Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
-	} else if s.cfg.DefaultDeadline > 0 {
-		deadline = time.Now().Add(s.cfg.DefaultDeadline)
+	} else if m.cfg.DefaultDeadline > 0 {
+		deadline = time.Now().Add(m.cfg.DefaultDeadline)
 	}
 
-	run := s.runFunc(spec, model)
-	j, created, err := s.jobs.submit(id, spec.Kind, spec.Workers, spec.MaxBytes, deadline, run)
+	// Replicated cache first — but only past the job table's own say: adopt
+	// joins a live or done twin when one exists, so a node never forks a
+	// second answer for work it already holds.
+	if ev, ok := m.results.Get(id); ok {
+		if j, adopted := m.jobs.adopt(id, ev); j != nil {
+			state, _, _, _ := j.snapshot()
+			if adopted {
+				m.resultHits.Add(1)
+				m.remoteHits.Add(1)
+			} else if state == api.StateDone {
+				m.resultHits.Add(1)
+			} else {
+				m.dedupLive.Add(1)
+			}
+			return &SubmitResponse{JobID: j.id, State: state, Created: false}, nil
+		}
+		return nil, &httpError{status: http.StatusServiceUnavailable,
+			code: wire.CodeShuttingDown, msg: errShuttingDown.Error()}
+	}
+
+	// Route: the ring's owner computes; everyone else proxies. A backend that
+	// never came up routes everything locally.
+	owner := m.dispatch.Owner(id)
+	run := m.runFunc(spec, model)
+	proxy := false
+	if owner != m.dispatch.Self() && !m.dispatchDown.Load() {
+		proxy = true
+		run = m.proxyRun(spec, model, req, owner)
+	}
+	workers := spec.Workers
+	memBytes := spec.MaxBytes
+	if proxy {
+		// A proxy holds no grant: the compute (and its admission) happens on
+		// the owner node.
+		workers, memBytes = 0, 0
+	}
+	j, created, err := m.jobs.submit(id, spec.Kind, workers, memBytes, deadline, run)
 	switch err {
 	case nil:
 	case errBusy:
@@ -429,42 +355,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// depth, so clients back off harder the deeper the backlog. Cached
 		// results keep being served throughout — only NEW work is shed (the
 		// job-table lookup above this rejection hits finished twins first).
-		s.shed.Add(1)
-		writeError(w, &httpError{
+		m.shed.Add(1)
+		return nil, &httpError{
 			status:     http.StatusTooManyRequests,
-			code:       "overloaded",
+			code:       wire.CodeOverloaded,
 			msg:        err.Error(),
-			retryAfter: s.retryAfter(),
-		})
-		return
+			retryAfter: m.retryAfter(),
+		}
 	case errShuttingDown:
-		writeError(w, &httpError{status: http.StatusServiceUnavailable, code: "shutting_down", msg: err.Error()})
-		return
+		return nil, &httpError{status: http.StatusServiceUnavailable,
+			code: wire.CodeShuttingDown, msg: err.Error()}
 	default:
-		writeError(w, err)
-		return
+		return nil, err
 	}
 	state, _, _, _ := j.snapshot()
-	if !created {
-		if state == StateDone {
-			s.resultHits.Add(1)
+	if created {
+		if proxy {
+			m.dispatched.Add(1)
+		}
+	} else {
+		if state == api.StateDone {
+			m.resultHits.Add(1)
 		} else {
-			s.dedupLive.Add(1)
+			m.dedupLive.Add(1)
 		}
 	}
-	status := http.StatusAccepted
-	if state == StateDone {
-		status = http.StatusOK
-	}
-	writeJSON(w, status, SubmitResponse{JobID: j.id, State: state, Created: created})
+	return &SubmitResponse{JobID: j.id, State: state, Created: created}, nil
 }
 
 // retryAfter derives shed-retry guidance from the current queue pressure:
 // one second of backoff per CPUTokens' worth of active jobs, clamped to
 // [1s, 60s]. Deeper backlog → longer suggested wait.
-func (s *Server) retryAfter() time.Duration {
-	active, _ := s.jobs.counts()
-	d := time.Duration(1+active/s.cfg.CPUTokens) * time.Second
+func (m *Manager) retryAfter() time.Duration {
+	active, _ := m.jobs.counts()
+	d := time.Duration(1+active/m.cfg.CPUTokens) * time.Second
 	if d > time.Minute {
 		d = time.Minute
 	}
@@ -474,7 +398,7 @@ func (s *Server) retryAfter() time.Duration {
 // normalize validates the submission, resolves the model through the parsed
 // cache, applies defaults, and returns the canonical spec. The parsed entry
 // is returned alongside so the job closure does not re-hash.
-func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError) {
+func (m *Manager) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError) {
 	var spec jobSpec
 	if req.Model == "" {
 		return spec, nil, badRequest("model is required")
@@ -490,8 +414,8 @@ func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > s.cfg.CPUTokens {
-		workers = s.cfg.CPUTokens
+	if workers > m.cfg.CPUTokens {
+		workers = m.cfg.CPUTokens
 	}
 	if req.Options.HorizonMS == 0 {
 		req.Options.HorizonMS = 2000
@@ -508,12 +432,12 @@ func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError
 	if maxBytes < 0 {
 		maxBytes = 0
 	}
-	if s.cfg.MemoryBudget > 0 {
+	if m.cfg.MemoryBudget > 0 {
 		if maxBytes == 0 {
-			maxBytes = s.cfg.MemoryBudget / int64(s.cfg.CPUTokens) * int64(workers)
+			maxBytes = m.cfg.MemoryBudget / int64(m.cfg.CPUTokens) * int64(workers)
 		}
-		if maxBytes > s.cfg.MemoryBudget {
-			maxBytes = s.cfg.MemoryBudget
+		if maxBytes > m.cfg.MemoryBudget {
+			maxBytes = m.cfg.MemoryBudget
 		}
 		if maxBytes < 1 {
 			maxBytes = 1
@@ -552,7 +476,7 @@ func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError
 	switch req.Kind {
 	case "arch":
 		spec.ModelHash = hashBytes("arch", req.Model)
-		entry, _, err := s.models.do(spec.ModelHash, func() (*modelEntry, error) {
+		entry, _, err := m.models.do(spec.ModelHash, func() (*modelEntry, error) {
 			sys, reqs, err := arch.ParseSystem([]byte(req.Model))
 			if err != nil {
 				return nil, err
@@ -619,7 +543,7 @@ func (s *Server) normalize(req *SubmitRequest) (jobSpec, *modelEntry, *httpError
 			spec.MaxConst = 0
 		}
 		spec.ModelHash = hashBytes("ta", req.Model, supKey, fmt.Sprint(spec.MaxConst))
-		entry, _, err := s.models.do(spec.ModelHash, func() (*modelEntry, error) {
+		entry, _, err := m.models.do(spec.ModelHash, func() (*modelEntry, error) {
 			net, err := wire.ParseTAModel(req.Model, spec.Queries, spec.MaxConst)
 			if err != nil {
 				return nil, err
@@ -664,18 +588,18 @@ func coreOptions(spec jobSpec, j *job) core.Options {
 
 // runFunc builds the job closure: compile (through the cache) and run the
 // single exploration answering the whole submission.
-func (s *Server) runFunc(spec jobSpec, model *modelEntry) runFunc {
+func (m *Manager) runFunc(spec jobSpec, model *modelEntry) runFunc {
 	if spec.Kind == "arch" {
 		return func(j *job) ([]byte, map[string]string, error) {
-			return s.runArch(spec, model, j)
+			return m.runArch(spec, model, j)
 		}
 	}
 	return func(j *job) ([]byte, map[string]string, error) {
-		return s.runTA(spec, model, j)
+		return m.runTA(spec, model, j)
 	}
 }
 
-func (s *Server) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
+func (m *Manager) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
 	byName := map[string]*arch.Requirement{}
 	for _, r := range model.reqs {
 		byName[r.Name] = r
@@ -704,17 +628,17 @@ func (s *Server) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[s
 		fmt.Sprint(spec.HorizonMS), fmt.Sprint(spec.QueueCap), string(horizonsJSON)},
 		spec.Requirements...)
 	ckey := hashBytes(parts...)
-	cs, _, err := s.compiled.do(ckey, func() (*arch.CompiledSet, error) {
+	cs, _, err := m.compiled.do(ckey, func() (*arch.CompiledSet, error) {
 		return arch.CompileAll(model.sys, reqs, copts)
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 
-	s.explorations.Add(1)
+	m.explorations.Add(1)
 	all, err := cs.Analyze(coreOptions(spec, j))
 	if err != nil {
-		s.noteAbort(err)
+		m.noteAbort(err)
 		return nil, nil, err
 	}
 	resp := wire.FromAllResult(all)
@@ -734,14 +658,14 @@ func (s *Server) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[s
 		wopts.Monitor = nil
 		traces = make(map[string]string, len(reqs))
 		for i, r := range reqs {
-			s.explorations.Add(1)
+			m.explorations.Add(1)
 			trace, werr := arch.WitnessForResult(model.sys, r, all.Results[i], copts, wopts)
 			switch {
 			case werr == nil:
 				traces[r.Name] = trace
 			case errors.Is(werr, core.ErrCanceled) || errors.Is(werr, core.ErrDeadlineExceeded):
 				// The job itself was aborted: fail it as usual.
-				s.noteAbort(werr)
+				m.noteAbort(werr)
 				return nil, nil, werr
 			default:
 				// The verdicts are computed and valid; an unmaterializable
@@ -754,7 +678,7 @@ func (s *Server) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[s
 	return data, traces, nil
 }
 
-func (s *Server) runTA(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
+func (m *Manager) runTA(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
 	run, err := wire.NewTARun(model.net, spec.Queries)
 	if err != nil {
 		return nil, nil, err
@@ -763,10 +687,10 @@ func (s *Server) runTA(spec jobSpec, model *modelEntry, j *job) ([]byte, map[str
 	if err != nil {
 		return nil, nil, err
 	}
-	s.explorations.Add(1)
+	m.explorations.Add(1)
 	stats, err := checker.RunQueries(coreOptions(spec, j), run.Queries()...)
 	if err != nil {
-		s.noteAbort(err)
+		m.noteAbort(err)
 		return nil, nil, err
 	}
 	resp := run.Response(stats)
@@ -783,205 +707,11 @@ func (s *Server) runTA(spec jobSpec, model *modelEntry, j *job) ([]byte, map[str
 	return data, traces, nil
 }
 
-func (s *Server) noteAbort(err error) {
+func (m *Manager) noteAbort(err error) {
 	switch {
 	case errors.Is(err, core.ErrCanceled):
-		s.canceled.Add(1)
+		m.canceled.Add(1)
 	case errors.Is(err, core.ErrDeadlineExceeded):
-		s.expired.Add(1)
+		m.expired.Add(1)
 	}
-}
-
-func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *job {
-	j := s.jobs.get(r.PathValue("id"))
-	if j == nil {
-		writeError(w, &httpError{status: http.StatusNotFound, msg: "unknown job"})
-		return nil
-	}
-	return j
-}
-
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.jobFromPath(w, r)
-	if j == nil {
-		return
-	}
-	state, errMsg, started, finished := j.snapshot()
-	p := j.mon.Snapshot()
-	resp := StatusResponse{
-		JobID:       j.id,
-		Kind:        j.kind,
-		State:       state,
-		Error:       errMsg,
-		SubmittedAt: j.submitted,
-		Progress: ProgressBody{
-			Stored:       p.Stored,
-			Popped:       p.Popped,
-			Transitions:  p.Transitions,
-			Deadlocks:    p.Deadlocks,
-			Frontier:     p.Frontier,
-			Workers:      p.Workers,
-			Running:      p.Running,
-			StoredBytes:  p.StoredBytes,
-			InternHits:   p.InternHits,
-			InternMisses: p.InternMisses,
-		},
-	}
-	if !started.IsZero() {
-		resp.StartedAt = &started
-	}
-	if !finished.IsZero() {
-		resp.FinishedAt = &finished
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j := s.jobFromPath(w, r)
-	if j == nil {
-		return
-	}
-	state, errMsg, _, _ := j.snapshot()
-	if state != StateDone {
-		status := http.StatusConflict
-		body := map[string]string{"state": state}
-		if errMsg != "" {
-			body["error"] = errMsg
-		}
-		writeJSON(w, status, body)
-		return
-	}
-	j.mu.Lock()
-	data := j.result
-	j.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(data)
-}
-
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	j := s.jobFromPath(w, r)
-	if j == nil {
-		return
-	}
-	state, _, _, _ := j.snapshot()
-	if state != StateDone {
-		writeJSON(w, http.StatusConflict, map[string]string{"state": state})
-		return
-	}
-	j.mu.Lock()
-	traces := j.traces
-	j.mu.Unlock()
-	if len(traces) == 0 {
-		writeError(w, &httpError{status: http.StatusNotFound,
-			msg: "no traces captured (arch jobs record them when submitted with options.witness)"})
-		return
-	}
-	if req := r.URL.Query().Get("req"); req != "" {
-		t, ok := traces[req]
-		if !ok {
-			writeError(w, &httpError{status: http.StatusNotFound, msg: "no trace for " + req})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{req: t})
-		return
-	}
-	writeJSON(w, http.StatusOK, traces)
-}
-
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.jobFromPath(w, r)
-	if j == nil {
-		return
-	}
-	j.cancel()
-	state, errMsg, _, _ := j.snapshot()
-	writeJSON(w, http.StatusOK, map[string]string{"job_id": j.id, "state": state, "error": errMsg})
-}
-
-// handleHealthz reports graded health, not a flat 200: the body carries the
-// admission pressure (queue depth, CPU-token and memory-budget saturation)
-// and the result-cache hit rate, and when admission is saturated — new
-// submissions would be shed — the endpoint flips to ok:false / 503 so load
-// balancers steer traffic away while the node keeps draining its backlog and
-// serving cached results.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	active, retained := s.jobs.counts()
-	c := s.Stats()
-	inUse := s.tokens.inUse()
-	degraded := active >= s.cfg.MaxActiveJobs
-	hitRate := 0.0
-	if c.Submissions > 0 {
-		hitRate = float64(c.ResultHits) / float64(c.Submissions)
-	}
-	storedBytes, ihits, imisses := s.jobs.storedFootprint()
-	internRate := 0.0
-	if ihits+imisses > 0 {
-		internRate = float64(ihits) / float64(ihits+imisses)
-	}
-	body := map[string]any{
-		"ok":                    !degraded,
-		"degraded":              degraded,
-		"uptime_s":              int64(time.Since(s.start).Seconds()),
-		"active_jobs":           active,
-		"max_active_jobs":       s.cfg.MaxActiveJobs,
-		"retained_jobs":         retained,
-		"queue_depth":           s.tokens.waiting(),
-		"cpu_tokens":            s.cfg.CPUTokens,
-		"tokens_in_use":         inUse,
-		"cpu_saturation":        float64(inUse) / float64(s.cfg.CPUTokens),
-		"memory_budget_bytes":   s.cfg.MemoryBudget,
-		"memory_in_use_bytes":   s.tokens.bytesInUse(),
-		"stored_zone_bytes":     storedBytes,
-		"intern_hit_rate":       internRate,
-		"shed_total":            c.Shed,
-		"result_cache_hit_rate": hitRate,
-	}
-	if s.cfg.MemoryBudget > 0 {
-		// Saturation takes the worse of the two memory views: granted
-		// admission bytes (what jobs reserved) and the live stores' actual
-		// packed footprint (what is resident right now). Granted normally
-		// dominates — compact zones keep actual use under the grant — so a
-		// stored-bytes overtake means the budget accounting is drifting and
-		// the node should shed before the kernel notices.
-		used := s.tokens.bytesInUse()
-		if storedBytes > used {
-			used = storedBytes
-		}
-		body["memory_saturation"] = float64(used) / float64(s.cfg.MemoryBudget)
-	}
-	status := http.StatusOK
-	if degraded {
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, body)
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	c := s.Stats()
-	active, retained := s.jobs.counts()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "taserved_submissions_total %d\n", c.Submissions)
-	fmt.Fprintf(w, "taserved_jobs_deduped_total %d\n", c.DedupedLive)
-	fmt.Fprintf(w, "taserved_result_cache_hits_total %d\n", c.ResultHits)
-	fmt.Fprintf(w, "taserved_explorations_total %d\n", c.Explorations)
-	fmt.Fprintf(w, "taserved_jobs_canceled_total %d\n", c.Canceled)
-	fmt.Fprintf(w, "taserved_jobs_deadline_exceeded_total %d\n", c.Expired)
-	fmt.Fprintf(w, "taserved_model_cache_hits_total %d\n", c.ModelHits)
-	fmt.Fprintf(w, "taserved_model_cache_misses_total %d\n", c.ModelMisses)
-	fmt.Fprintf(w, "taserved_model_cache_entries %d\n", s.models.len())
-	fmt.Fprintf(w, "taserved_compile_cache_hits_total %d\n", c.CompileHits)
-	fmt.Fprintf(w, "taserved_compile_cache_misses_total %d\n", c.CompileMisses)
-	fmt.Fprintf(w, "taserved_compile_cache_entries %d\n", s.compiled.len())
-	fmt.Fprintf(w, "taserved_jobs_active %d\n", active)
-	fmt.Fprintf(w, "taserved_jobs_retained %d\n", retained)
-	fmt.Fprintf(w, "taserved_cpu_tokens_total %d\n", s.cfg.CPUTokens)
-	fmt.Fprintf(w, "taserved_cpu_tokens_in_use %d\n", s.tokens.inUse())
-	fmt.Fprintf(w, "taserved_admission_queue_depth %d\n", s.tokens.waiting())
-	fmt.Fprintf(w, "taserved_memory_budget_bytes %d\n", s.cfg.MemoryBudget)
-	fmt.Fprintf(w, "taserved_memory_in_use_bytes %d\n", s.tokens.bytesInUse())
-	storedBytes, ihits, imisses := s.jobs.storedFootprint()
-	fmt.Fprintf(w, "taserved_stored_zone_bytes %d\n", storedBytes)
-	fmt.Fprintf(w, "taserved_intern_hits_total %d\n", ihits)
-	fmt.Fprintf(w, "taserved_intern_misses_total %d\n", imisses)
-	fmt.Fprintf(w, "taserved_shed_total %d\n", c.Shed)
 }

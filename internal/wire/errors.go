@@ -1,14 +1,90 @@
 package wire
 
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// Error codes shared by every layer that names a failure on the wire: the
+// serve job manager (node-local failures), both dispatch backends (failures
+// relayed between nodes in completion events), and the CLIs (budget aborts).
+// One set of constants means a job that failed with MemoryBudgetExceeded on
+// the node that computed it reports exactly MemoryBudgetExceeded on every
+// frontend that relayed it — the round-trip test in errors_test.go pins the
+// mapping so the strings cannot drift.
+//
+// Two naming families, both historical and now frozen:
+//
+//   - Job failure codes (CamelCase) name why an analysis ended: they appear
+//     as the job's `error` field and inside relayed completion events.
+//   - Transport rejection codes (snake_case) name why a request never became
+//     a job: they appear as ErrorResponse.Code on non-2xx responses.
+const (
+	// Job failure codes.
+	CodeDeadlineExceeded = "DeadlineExceeded"
+	CodeMemoryBudget     = "MemoryBudgetExceeded"
+	CodeStateBudget      = "StateBudgetExceeded"
+	CodeCanceled         = "canceled"
+	// CodeDispatchFailed marks a job whose owning node became unreachable
+	// mid-flight (broker closed after dispatch): the submission was never
+	// computed, resubmitting starts a fresh attempt.
+	CodeDispatchFailed = "DispatchFailed"
+
+	// Transport rejection codes.
+	CodeBadRequest   = "bad_request"
+	CodeBodyTooLarge = "body_too_large"
+	CodeOverloaded   = "overloaded"
+	CodeShuttingDown = "shutting_down"
+	CodeNotFound     = "not_found"
+	CodeInternal     = "internal"
+)
+
+// CodeForError names the job-failure class of a core abort sentinel; empty
+// for errors without a named class (they travel as their message).
+func CodeForError(err error) string {
+	switch {
+	case errors.Is(err, core.ErrCanceled):
+		return CodeCanceled
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, core.ErrMemoryBudget):
+		return CodeMemoryBudget
+	case errors.Is(err, core.ErrStateBudget):
+		return CodeStateBudget
+	default:
+		return ""
+	}
+}
+
+// ErrorForCode is the inverse of CodeForError: the core sentinel a relayed
+// failure code stands for, or nil for codes with no core counterpart. A node
+// that receives a completion event re-derives the sentinel so its local
+// accounting (canceled/expired counters, retry-on-resubmit policy) treats a
+// remote failure exactly like a local one.
+func ErrorForCode(code string) error {
+	switch code {
+	case CodeCanceled:
+		return core.ErrCanceled
+	case CodeDeadlineExceeded:
+		return core.ErrDeadlineExceeded
+	case CodeMemoryBudget:
+		return core.ErrMemoryBudget
+	case CodeStateBudget:
+		return core.ErrStateBudget
+	default:
+		return nil
+	}
+}
+
 // ErrorResponse is the structured error body of every non-2xx taserved
 // response. Error is the human-readable message (the historical `{"error":
 // "..."}` shape, so old clients keep decoding); the remaining fields are
 // machine guidance added for overload shedding.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	// Code names the failure class machine-readably: "bad_request",
-	// "body_too_large", "overloaded", "shutting_down", "not_found",
-	// "internal".
+	// Code names the failure class machine-readably; one of the Code*
+	// transport constants above.
 	Code string `json:"code,omitempty"`
 	// RetryAfterMS, when nonzero, tells the client the request is worth
 	// retrying after this many milliseconds (mirrors the Retry-After header,

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestErrorCodeRoundTrip pins the failure taxonomy both ways: every core
+// abort sentinel maps to exactly one wire code, and relaying that code
+// (owner node → completion event → frontend) re-derives the same sentinel,
+// so node-local and relayed failures cannot drift apart.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	sentinels := map[string]error{
+		CodeCanceled:         core.ErrCanceled,
+		CodeDeadlineExceeded: core.ErrDeadlineExceeded,
+		CodeMemoryBudget:     core.ErrMemoryBudget,
+		CodeStateBudget:      core.ErrStateBudget,
+	}
+	for code, err := range sentinels {
+		if got := CodeForError(err); got != code {
+			t.Errorf("CodeForError(%v) = %q, want %q", err, got, code)
+		}
+		back := ErrorForCode(code)
+		if back == nil {
+			t.Fatalf("ErrorForCode(%q) = nil, want %v", code, err)
+		}
+		if CodeForError(back) != code {
+			t.Errorf("relay round trip broke: %q -> %v -> %q", code, back, CodeForError(back))
+		}
+	}
+	// Codes without a core counterpart (transport rejections, dispatch
+	// failures) must not alias onto a sentinel.
+	for _, code := range []string{CodeDispatchFailed, CodeBadRequest, CodeBodyTooLarge,
+		CodeOverloaded, CodeShuttingDown, CodeNotFound, CodeInternal} {
+		if err := ErrorForCode(code); err != nil {
+			t.Errorf("ErrorForCode(%q) = %v, want nil", code, err)
+		}
+	}
+	// Unnamed errors stay unnamed.
+	if got := CodeForError(errTest); got != "" {
+		t.Errorf("CodeForError(plain error) = %q, want empty", got)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "plain" }

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke of the taserved analysis service.
 #
-# Builds taserved, boots it on a kernel-assigned port, and drives the full
-# job lifecycle with curl against the checked-in tiny models: healthz,
-# arch submit → poll → result, result-cache hit on resubmission, a combined
-# ta query set, metrics, and a graceful SIGTERM shutdown (must exit 0 after
-# draining). Used by the CI serve-smoke job and runnable locally:
+# Builds taserved, boots it on a kernel-assigned port, drives the full job
+# lifecycle with the typed Go client (scripts/servesmoke: healthz, arch
+# submit → poll → result, result-cache hit on resubmission, a combined ta
+# query set, metrics), then checks a graceful SIGTERM shutdown (must exit 0
+# after draining). Used by the CI serve-smoke job and runnable locally:
 #
 #   scripts/serve_smoke.sh
 #
-# Requires: go, curl, jq.
+# Requires: go.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,50 +33,7 @@ done
 [ -n "$url" ] || { echo "taserved did not report its address:"; cat "$log"; exit 1; }
 echo "== taserved at $url"
 
-echo "== healthz"
-curl -fsS "$url/healthz" | jq -e '.ok == true' >/dev/null
-
-echo "== arch submit"
-req=$(jq -n --rawfile model testdata/tiny.json \
-  '{kind:"arch", model:$model, options:{horizon_ms:100}}')
-job=$(curl -fsS -X POST --data "$req" "$url/v1/jobs" | jq -r .job_id)
-[ -n "$job" ] && [ "$job" != null ]
-
-echo "== poll $job"
-state=""
-for _ in $(seq 1 200); do
-  state=$(curl -fsS "$url/v1/jobs/$job" | jq -r .state)
-  case "$state" in
-    done) break ;;
-    failed|canceled) echo "job ended $state:"; curl -fsS "$url/v1/jobs/$job"; exit 1 ;;
-  esac
-  sleep 0.1
-done
-[ "$state" = done ] || { echo "job stuck in state $state"; exit 1; }
-
-echo "== result"
-curl -fsS "$url/v1/jobs/$job/result" \
-  | jq -e '.results | length == 2 and (.[0].req == "e2e") and (.[0].ms == "30")' >/dev/null
-
-echo "== result-cache hit on resubmission"
-curl -fsS -X POST --data "$req" "$url/v1/jobs" \
-  | jq -e '.state == "done" and .created == false' >/dev/null
-curl -fsS "$url/metrics" | grep -qx 'taserved_explorations_total 1'
-
-echo "== ta submit (combined sup + deadlock sweep)"
-ta_req=$(jq -n --rawfile model testdata/tiny.ta \
-  '{kind:"ta", model:$model,
-    queries:[{kind:"sup", clock:"x", pred:"RAD.busy"}, {kind:"deadlock"}],
-    options:{max_const:20}}')
-ta_job=$(curl -fsS -X POST --data "$ta_req" "$url/v1/jobs" | jq -r .job_id)
-for _ in $(seq 1 200); do
-  state=$(curl -fsS "$url/v1/jobs/$ta_job" | jq -r .state)
-  [ "$state" = done ] && break
-  sleep 0.1
-done
-[ "$state" = done ] || { echo "ta job stuck in state $state"; exit 1; }
-curl -fsS "$url/v1/jobs/$ta_job/result" \
-  | jq -e '.queries[0].sup == "<=3" and .queries[1].verdict == true' >/dev/null
+go run ./scripts/servesmoke -url "$url"
 
 echo "== graceful shutdown"
 kill -TERM "$pid"
@@ -85,4 +42,4 @@ wait "$pid" || rc=$?
 [ "$rc" -eq 0 ] || { echo "taserved exited $rc on SIGTERM:"; cat "$log"; exit 1; }
 grep -q 'drained, bye' "$log"
 
-echo "serve smoke OK"
+echo "serve shutdown OK"

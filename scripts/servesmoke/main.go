@@ -1,0 +1,302 @@
+// Command servesmoke drives the taserved HTTP contract end to end with the
+// typed Go client — the programmatic successor of the old curl loop in
+// scripts/serve_smoke.sh. Two modes:
+//
+//	servesmoke -url http://127.0.0.1:PORT
+//	    drive an already-running server (the serve_smoke.sh wrapper boots the
+//	    real binary, points this tool at it, then checks graceful shutdown)
+//
+//	servesmoke -cluster 3
+//	    boot an N-node in-process fleet over the shared in-memory broker and
+//	    verify the fleet invariants: one exploration cluster-wide, remote
+//	    cache hits on the other frontends, and byte-identical result bodies
+//	    from every node
+//
+// Run from the repository root (or set -testdata); exits non-zero with a
+// "servesmoke: ..." diagnostic on the first failed check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/serve/client"
+	"repro/internal/serve/pubsub"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "base url of a running taserved to smoke")
+		cluster  = flag.Int("cluster", 0, "boot an in-process fleet of this many nodes and smoke it")
+		testdata = flag.String("testdata", "testdata", "directory holding tiny.json and tiny.ta")
+	)
+	flag.Parse()
+	switch {
+	case *url != "" && *cluster > 0:
+		fail("pass -url or -cluster, not both")
+	case *url != "":
+		smokeSingle(*url, *testdata)
+	case *cluster > 1:
+		smokeCluster(*cluster, *testdata)
+	default:
+		fail("pass -url http://... or -cluster N (N >= 2)")
+	}
+	fmt.Println("serve smoke OK")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func step(name string) { fmt.Println("==", name) }
+
+func readModel(dir, name string) string {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		fail("reading model: %v", err)
+	}
+	return string(data)
+}
+
+// archRequest is the tiny arch sweep every smoke mode submits: two
+// requirements, known verdicts ("e2e" meets 30ms).
+func archRequest(dir string) *api.SubmitRequest {
+	return &api.SubmitRequest{Kind: "arch", Model: readModel(dir, "tiny.json"),
+		Options: api.SubmitOptions{HorizonMS: 100}}
+}
+
+// taRequest is the combined ta query set: a sup bound plus a deadlock sweep.
+func taRequest(dir string) *api.SubmitRequest {
+	return &api.SubmitRequest{Kind: "ta", Model: readModel(dir, "tiny.ta"),
+		Queries: []wire.TAQuery{
+			{Kind: "sup", Clock: "x", Pred: "RAD.busy"},
+			{Kind: "deadlock"},
+		},
+		Options: api.SubmitOptions{MaxConst: 20}}
+}
+
+// submitAwait submits and polls to a terminal state, failing unless done.
+func submitAwait(ctx context.Context, c *client.Client, req *api.SubmitRequest) *api.StatusResponse {
+	sr, err := c.Submit(ctx, req)
+	if err != nil {
+		fail("submit: %v", err)
+	}
+	st, err := c.Await(ctx, sr.JobID, 25*time.Millisecond)
+	if err != nil {
+		fail("awaiting %s: %v", sr.JobID, err)
+	}
+	if st.State != api.StateDone {
+		fail("job %s ended %s (%s)", sr.JobID, st.State, st.Error)
+	}
+	return st
+}
+
+// checkArchResult decodes a tiny.json result body and verifies the known
+// verdicts, mirroring the old jq assertions.
+func checkArchResult(body []byte) {
+	var res struct {
+		Results []struct {
+			Req string `json:"req"`
+			MS  string `json:"ms"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		fail("decoding arch result: %v", err)
+	}
+	if len(res.Results) != 2 || res.Results[0].Req != "e2e" || res.Results[0].MS != "30" {
+		fail("arch result mismatch: %+v", res.Results)
+	}
+}
+
+// checkTAResult verifies the combined ta query verdicts.
+func checkTAResult(body []byte) {
+	var res struct {
+		Queries []struct {
+			Sup     string `json:"sup"`
+			Verdict bool   `json:"verdict"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		fail("decoding ta result: %v", err)
+	}
+	if len(res.Queries) != 2 || res.Queries[0].Sup != "<=3" || !res.Queries[1].Verdict {
+		fail("ta result mismatch: %+v", res.Queries)
+	}
+}
+
+// metric fetches one counter from a node, failing if absent.
+func metric(ctx context.Context, c *client.Client, name string) int64 {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	v, ok := client.Metric(text, name)
+	if !ok {
+		fail("metric %s missing from exposition", name)
+	}
+	return v
+}
+
+// smokeSingle drives one already-running server through the full lifecycle:
+// health, arch submit/poll/result, cache hit on resubmission, combined ta
+// query set, metrics.
+func smokeSingle(url, testdata string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := client.New(url, nil)
+
+	step("healthz")
+	if _, ok, err := c.Healthz(ctx); err != nil || !ok {
+		fail("healthz ok=%v err=%v", ok, err)
+	}
+
+	step("arch submit + poll")
+	req := archRequest(testdata)
+	st := submitAwait(ctx, c, req)
+
+	step("result")
+	body, err := c.Result(ctx, st.JobID)
+	if err != nil {
+		fail("result: %v", err)
+	}
+	checkArchResult(body)
+
+	step("result-cache hit on resubmission")
+	sr, err := c.Submit(ctx, req)
+	if err != nil {
+		fail("resubmit: %v", err)
+	}
+	if sr.State != api.StateDone || sr.Created {
+		fail("resubmission state=%s created=%v, want cached done", sr.State, sr.Created)
+	}
+	if n := metric(ctx, c, "taserved_explorations_total"); n != 1 {
+		fail("explorations after cached resubmit: %d, want 1", n)
+	}
+
+	step("ta submit (combined sup + deadlock sweep)")
+	st = submitAwait(ctx, c, taRequest(testdata))
+	body, err = c.Result(ctx, st.JobID)
+	if err != nil {
+		fail("ta result: %v", err)
+	}
+	checkTAResult(body)
+}
+
+// fleetNode is one in-process fleet member: a manager over the shared broker
+// behind a real TCP listener.
+type fleetNode struct {
+	id     string
+	server *serve.Server
+	http   *http.Server
+	client *client.Client
+}
+
+// smokeCluster boots n fleet nodes over one in-memory broker and checks the
+// cluster invariants the CI cluster-smoke job guards: exactly one exploration
+// cluster-wide per distinct submission, remote cache hits when the other
+// frontends answer, and byte-identical result bodies from every node.
+func smokeCluster(n int, testdata string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	broker := pubsub.NewMemBroker()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i)
+	}
+	nodes := make([]*fleetNode, n)
+	for i, id := range ids {
+		dispatch, results, err := pubsub.NewNode(broker, id, ids, 256)
+		if err != nil {
+			fail("node %s: %v", id, err)
+		}
+		// Identical admission config on every member — required for
+		// content-key agreement across the fleet.
+		srv := serve.New(serve.Config{CPUTokens: 2, Dispatch: dispatch, Results: results})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("node %s listen: %v", id, err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		nodes[i] = &fleetNode{id: id, server: srv, http: hs,
+			client: client.New("http://"+ln.Addr().String(), nil)}
+	}
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.http.Close()
+			_ = nd.server.Shutdown(10 * time.Second)
+		}
+	}()
+
+	step(fmt.Sprintf("cluster of %d: arch submit via %s", n, nodes[0].id))
+	req := archRequest(testdata)
+	st := submitAwait(ctx, nodes[0].client, req)
+
+	step("replicated cache answers every frontend")
+	for _, nd := range nodes[1:] {
+		sr, err := nd.client.Submit(ctx, req)
+		if err != nil {
+			fail("resubmit via %s: %v", nd.id, err)
+		}
+		if sr.JobID != st.JobID {
+			fail("%s derived job id %s, want %s", nd.id, sr.JobID, st.JobID)
+		}
+		if sr.State != api.StateDone || sr.Created {
+			fail("%s resubmission state=%s created=%v, want cached done", nd.id, sr.State, sr.Created)
+		}
+	}
+
+	step("byte-identical results from every node")
+	var first []byte
+	for i, nd := range nodes {
+		body, err := nd.client.Result(ctx, st.JobID)
+		if err != nil {
+			fail("result via %s: %v", nd.id, err)
+		}
+		if i == 0 {
+			checkArchResult(body)
+			first = body
+		} else if string(body) != string(first) {
+			fail("%s serves different bytes than %s", nd.id, nodes[0].id)
+		}
+	}
+
+	step("one exploration cluster-wide, remote hits counted")
+	var explorations, remoteHits int64
+	for _, nd := range nodes {
+		explorations += metric(ctx, nd.client, "taserved_explorations_total")
+		remoteHits += metric(ctx, nd.client, "taserved_remote_hits_total")
+	}
+	if explorations != 1 {
+		fail("cluster ran %d explorations for one submission, want 1", explorations)
+	}
+	if remoteHits < int64(n-1) {
+		fail("only %d remote hits across %d frontends, want >= %d", remoteHits, n, n-1)
+	}
+
+	step("ta job through another frontend")
+	taReq := taRequest(testdata)
+	st = submitAwait(ctx, nodes[n-1].client, taReq)
+	// Resubmitting on the first frontend adopts the replicated completion
+	// into its own table, so it can serve the result bytes too.
+	if sr, err := nodes[0].client.Submit(ctx, taReq); err != nil || sr.State != api.StateDone {
+		fail("ta resubmit via %s: state=%v err=%v", nodes[0].id, sr, err)
+	}
+	body, err := nodes[0].client.Result(ctx, st.JobID)
+	if err != nil {
+		fail("ta result via %s: %v", nodes[0].id, err)
+	}
+	checkTAResult(body)
+}
