@@ -130,6 +130,36 @@ func BenchmarkTable1_HandleTMC_AL_po_Budgeted(b *testing.B) {
 	b.ReportMetric(float64(res.Stats.Stored), "states")
 }
 
+// BenchmarkTable1_HandleTMC_AL_po_Profiled is the profiled twin: the same
+// cell with a sweep profile attached (phase spans, per-worker sampled
+// series). Its baseline sits a fixed handful of allocs/op above the plain
+// twin — the per-run ring buffers — while the plain twin's unchanged exact
+// baseline pins the profile-DISABLED hot path to zero extra allocations.
+func BenchmarkTable1_HandleTMC_AL_po_Profiled(b *testing.B) {
+	b.ReportAllocs()
+	row := icrns.Table1Rows[1]
+	var mon *core.Monitor
+	var res arch.WCRTResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		// A fresh monitor per iteration keeps the profiling cost (rings,
+		// span list) a constant per run, so allocs/op is exact.
+		mon = &core.Monitor{}
+		mon.EnableProfile(core.ProfileConfig{})
+		res, err = icrns.Cell(row, icrns.ColPO,
+			icrns.CellOptions{Cfg: icrns.DefaultConfig(), Seed: 1, Monitor: mon})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if prof := mon.Profile(); prof == nil || len(prof.Phases) == 0 {
+		b.Fatal("profiled run recorded no phases")
+	}
+	ms, _ := res.MS.Float64()
+	b.ReportMetric(ms, "wcrt_ms")
+	b.ReportMetric(float64(res.Stats.Stored), "states")
+}
+
 // --- Table 2: tool comparison on the AddressLookup and HandleTMC rows ---
 
 func table2System() (*arch.System, *arch.Requirement) {

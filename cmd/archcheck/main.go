@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -79,9 +80,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mon := prof.Monitor()
+	parseStart := time.Now()
 	sys, reqs, err := arch.ParseSystem(data)
 	if err != nil {
 		fatal(err)
+	}
+	if mon != nil {
+		mon.RecordPhase("parse", parseStart, time.Now())
 	}
 	if *reqName != "" {
 		var filtered []*arch.Requirement
@@ -127,8 +133,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown order %q", *order))
 	}
+	// The sweep profile (when -profile-out is given) rides the uppaal
+	// engine's core options; compile time shows up inside the engine calls,
+	// the exploration itself records the explore/trace-replay phases.
 	copts := core.Options{Order: ord, Seed: *seed, MaxStates: *maxStates,
-		StateBudget: *stateBudget, MaxBytes: *maxBytes, Workers: *workers}
+		StateBudget: *stateBudget, MaxBytes: *maxBytes, Workers: *workers,
+		Monitor: mon}
 
 	if *jsonOut {
 		if *engine != "uppaal" || *deadlock {

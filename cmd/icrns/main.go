@@ -68,7 +68,7 @@ func main() {
 	}
 	cellOpts := icrns.CellOptions{
 		Cfg: cfg, MaxStates: *budget, FallbackStates: *fallback, Seed: *seed,
-		Workers: *workers, MaxBytes: *maxBytes,
+		Workers: *workers, MaxBytes: *maxBytes, Monitor: prof.Monitor(),
 	}
 
 	if *verify != "" {

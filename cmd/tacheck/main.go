@@ -23,7 +23,8 @@
 // horizon for the sup clock), -workers (parallel exploration; defaults to
 // the number of CPUs and applies to every query, counterexample and witness
 // traces included). -cpuprofile/-memprofile write runtime/pprof profiles of
-// the run for hot-path inspection.
+// the run for hot-path inspection; -profile-out captures the engine's sweep
+// profile (parse/compile/explore phase spans + per-worker series) as JSON.
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/profflag"
@@ -138,13 +140,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	mon := prof.Monitor()
+	opts.Monitor = mon
+
 	// ParseTAModel registers the -max-const horizon on the sup clocks before
 	// the network finalizes; every query then runs against the same network
 	// in ONE exploration.
+	parseStart := time.Now()
 	net, err := wire.ParseTAModel(string(data), specs, *maxConst)
 	if err != nil {
 		fatal(err)
 	}
+	if mon != nil {
+		mon.RecordPhase("parse", parseStart, time.Now())
+	}
+	compileStart := time.Now()
 	run, err := wire.NewTARun(net, specs)
 	if err != nil {
 		fatal(err)
@@ -152,6 +162,9 @@ func main() {
 	checker, err := core.NewChecker(net)
 	if err != nil {
 		fatal(err)
+	}
+	if mon != nil {
+		mon.RecordPhase("compile", compileStart, time.Now())
 	}
 	stats, err := checker.RunQueries(opts, run.Queries()...)
 	if err != nil {

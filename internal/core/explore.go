@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // ErrCanceled reports an exploration stopped early through Options.Cancel.
@@ -159,6 +160,11 @@ type frontier interface {
 	// expanded — for progress monitoring. Safe to call from any goroutine
 	// while workers run; the value is a relaxed snapshot.
 	depth() int64
+	// steals reports how many states worker w has taken from other workers'
+	// deques so far — the work-stealing balance signal the sweep profiler
+	// samples. Always 0 for the sequential frontier. Safe from any goroutine
+	// (padded single-writer cells).
+	steals(w int) int64
 }
 
 // listFrontier is the sequential waiting list: FIFO for BFS, LIFO for
@@ -201,6 +207,8 @@ func (f *listFrontier) pop(_ int) *State {
 
 func (f *listFrontier) expanded(int) {}
 
+func (f *listFrontier) steals(int) int64 { return 0 }
+
 func (f *listFrontier) depth() int64 {
 	if f.waiting == nil {
 		return 0
@@ -215,17 +223,23 @@ func (f *listFrontier) depth() int64 {
 // decremented only after all of its successors have been pushed, so
 // pending == 0 is sound: no work exists and none can appear.
 type dequeFrontier struct {
-	deques  []*wsDeque
-	rngs    []*rand.Rand // per-worker victim selection
-	pending atomic.Int64
-	stop    *atomic.Bool
+	deques []*wsDeque
+	rngs   []*rand.Rand // per-worker victim selection
+	// stealCells counts successful steals per thief: worker w bumps its own
+	// padded cell (single-writer load+store, never an RMW) on each steal, so
+	// the sweep profiler and steal totals read live without perturbing the
+	// scheduling path.
+	stealCells *obs.Cells
+	pending    atomic.Int64
+	stop       *atomic.Bool
 }
 
 func newDequeFrontier(workers int, seed int64, dequeCap int64, stop *atomic.Bool) *dequeFrontier {
 	f := &dequeFrontier{
-		deques: make([]*wsDeque, workers),
-		rngs:   make([]*rand.Rand, workers),
-		stop:   stop,
+		deques:     make([]*wsDeque, workers),
+		rngs:       make([]*rand.Rand, workers),
+		stealCells: obs.NewCells(workers),
+		stop:       stop,
 	}
 	for i := range f.deques {
 		f.deques[i] = newWSDeque(dequeCap)
@@ -250,7 +264,9 @@ func (f *dequeFrontier) pop(w int) *State {
 		s := me.pop()
 		for attempt := 0; s == nil && attempt < 2*len(f.deques); attempt++ {
 			if v := f.deques[rng.Intn(len(f.deques))]; v != me {
-				s = v.steal()
+				if s = v.steal(); s != nil {
+					f.stealCells.Add(w, 1)
+				}
 			}
 		}
 		if s != nil {
@@ -274,6 +290,8 @@ func (f *dequeFrontier) expanded(int) { f.pending.Add(-1) }
 
 func (f *dequeFrontier) depth() int64 { return f.pending.Load() }
 
+func (f *dequeFrontier) steals(w int) int64 { return f.stealCells.Get(w) }
+
 // explorer carries the shared mutable state of one exploration run. The only
 // shared structures are the passed store, the frontier, the parent logs
 // (per-worker ownership), the queries' per-worker accumulators and completion
@@ -287,6 +305,7 @@ type explorer struct {
 	front   frontier
 	logs    *parentLogs // nil when no trace can be requested
 	mon     *monView    // nil when no Monitor is attached
+	prof    *profRun    // nil unless the Monitor has profiling enabled
 	budget  *memBudget  // nil when no memory budget is configured
 
 	// hasCheck caches "Cancel, Deadline, or MaxBytes configured" so the
@@ -441,6 +460,15 @@ func (e *explorer) run(w int) {
 			// Monitor.Snapshot. Never an RMW, never contended — the hot path
 			// cost is two or three uncontended stores per expansion.
 			cell.publish(nPopped, nTransitions, nDeadlocks)
+		}
+		if e.prof != nil && nPopped&e.prof.mask == 0 {
+			// Sweep-profile sampling: every (mask+1)-th expansion the worker
+			// appends one point to its own ring — loop locals, its steal
+			// cell, and a few shared atomics. The disabled path is the nil
+			// check alone, and the rings were allocated at attach, so an
+			// unprofiled sweep provably gains zero allocations.
+			gets, reuses := ctx.pool.Stats()
+			e.sampleProfile(w, nPopped, nTransitions, gets, reuses)
 		}
 		s := e.front.pop(w)
 		if s == nil {
@@ -610,8 +638,11 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 	// Attach the monitor strictly after e.front is in place: the atomic
 	// publication inside attach orders the frontier write before any
 	// Snapshot reads it.
+	endExplore := noopEnd
 	if opts.Monitor != nil {
 		e.mon = opts.Monitor.attach(e, workers)
+		e.prof = e.mon.prof
+		endExplore = opts.Monitor.BeginPhase("explore")
 	}
 	if !drained {
 		if parallel {
@@ -628,6 +659,7 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 			e.runContained(0)
 		}
 	}
+	endExplore()
 	if e.mon != nil {
 		// Workers are done and their deferred flushes have landed in the
 		// explorer atomics; later Snapshots read those exact totals.
@@ -647,6 +679,12 @@ func (c *Checker) explore(opts Options, queries []Query) (ExploreResult, error) 
 			_ = q.finish(c, e.logs, res.Stats)
 		}
 		return res, *ep
+	}
+	if opts.Monitor != nil && e.logs != nil {
+		// The trace-replay phase covers everything after the sweep that may
+		// re-fire transitions: the deadlock replay plus each query's finish
+		// (reduction merge + completion-trace replay).
+		defer opts.Monitor.BeginPhase("trace-replay")()
 	}
 	if ref := e.deadRef.Load(); e.logs != nil && ref != noRef {
 		if res.DeadlockTrace, err = c.replayTrace(e.logs, ref); err != nil {

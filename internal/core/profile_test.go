@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSweepProfilePhasesAndSeries runs a monitored exploration with a
+// one-expansion sampling stride and checks the full recorder contract:
+// phase spans (recorded parse + measured explore), a per-worker series with
+// cumulative counters, ring overflow accounting, and exact totals.
+func TestSweepProfilePhasesAndSeries(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &Monitor{}
+	mon.EnableProfile(ProfileConfig{SampleEvery: 1, MaxSamples: 8})
+	parseStart := time.Now().Add(-time.Millisecond)
+	mon.RecordPhase("parse", parseStart, time.Now())
+
+	stats, err := c.Explore(Options{Monitor: mon}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mon.Profile()
+	if p == nil {
+		t.Fatal("Profile() = nil after a monitored run")
+	}
+	if p.Workers != 1 || len(p.Series) != 1 {
+		t.Fatalf("Workers=%d Series=%d, want 1/1", p.Workers, len(p.Series))
+	}
+	if p.Totals.Stored != int64(stats.Stored) {
+		t.Errorf("Totals.Stored = %d, want the run's %d", p.Totals.Stored, stats.Stored)
+	}
+
+	phases := map[string]int{}
+	var prevStart int64
+	for _, sp := range p.Phases {
+		phases[sp.Name]++
+		if sp.DurNS < 0 || sp.StartNS <= 0 {
+			t.Errorf("phase %s has start=%d dur=%d, want positive start and nonnegative dur",
+				sp.Name, sp.StartNS, sp.DurNS)
+		}
+		if sp.StartNS < prevStart {
+			t.Errorf("phase %s starts at %d, before predecessor %d — spans must be monotone",
+				sp.Name, sp.StartNS, prevStart)
+		}
+		prevStart = sp.StartNS
+	}
+	for _, want := range []string{"parse", "explore"} {
+		if phases[want] == 0 {
+			t.Errorf("phase %s missing (got %+v)", want, p.Phases)
+		}
+	}
+
+	ws := p.Series[0]
+	if len(ws.Samples) == 0 {
+		t.Fatal("stride-1 sampling recorded no samples")
+	}
+	// The grid stores far more than 8 states, so the bounded ring must have
+	// wrapped, and the retained samples must read oldest-first with the
+	// worker's cumulative counters nondecreasing.
+	if ws.Dropped == 0 {
+		t.Errorf("expected ring overflow with MaxSamples=8 on %d expansions", stats.Stored)
+	}
+	// At stride 1 the worker samples once per pop, plus the stride-boundary
+	// sample before the first counted pop.
+	if int64(ws.Dropped+len(ws.Samples)) > p.Totals.Popped+1 {
+		t.Errorf("sample accounting %d+%d exceeds %d expansions",
+			ws.Dropped, len(ws.Samples), p.Totals.Popped)
+	}
+	var prev WorkerSample
+	for i, s := range ws.Samples {
+		if i > 0 && (s.AtNS < prev.AtNS || s.Popped < prev.Popped || s.Transitions < prev.Transitions) {
+			t.Fatalf("sample %d not monotone after rotation: %+v then %+v", i, prev, s)
+		}
+		prev = s
+	}
+	if prev.Popped == 0 {
+		t.Error("final sample has Popped = 0, want the worker's cumulative count")
+	}
+}
+
+// TestSweepProfileParallel checks the parallel recorder: one ring per
+// worker and run-wide steal/contention totals wired to the work-stealing
+// frontier and sharded store.
+func TestSweepProfileParallel(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &Monitor{}
+	mon.EnableProfile(ProfileConfig{SampleEvery: 1})
+	if _, err := c.Explore(Options{Workers: 4, Monitor: mon}, nil); err != nil {
+		t.Fatal(err)
+	}
+	p := mon.Profile()
+	if p == nil {
+		t.Fatal("Profile() = nil after a monitored parallel run")
+	}
+	if p.Workers != 4 || len(p.Series) != 4 {
+		t.Fatalf("Workers=%d Series=%d, want 4/4", p.Workers, len(p.Series))
+	}
+	if p.Steals < 0 || p.StoreContention < 0 {
+		t.Fatalf("negative totals: steals=%d contention=%d", p.Steals, p.StoreContention)
+	}
+	total := 0
+	for _, ws := range p.Series {
+		total += len(ws.Samples)
+	}
+	if total == 0 {
+		t.Error("no worker recorded a sample at stride 1")
+	}
+}
+
+// TestProfileDisabledRecordsNothing pins the opt-in contract: without
+// EnableProfile the monitor hands out the shared no-op closer and Profile
+// stays nil even after monitored runs.
+func TestProfileDisabledRecordsNothing(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &Monitor{}
+	if mon.ProfileEnabled() {
+		t.Fatal("zero-value monitor reports profiling enabled")
+	}
+	end := mon.BeginPhase("explore")
+	end()
+	mon.RecordPhase("parse", time.Now(), time.Now())
+	if _, err := c.Explore(Options{Monitor: mon}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p := mon.Profile(); p != nil {
+		t.Fatalf("disabled monitor recorded a profile: %+v", p)
+	}
+}
+
+// TestProfileScrapeDuringSweep hammers the monitor's read side — Snapshot
+// and Profile, the paths a live /v1/metrics scrape and profile poll take —
+// while a parallel profiled sweep runs. The -race build is the assertion:
+// scrapes must never race the single-writer cells or the sampling rings.
+func TestProfileScrapeDuringSweep(t *testing.T) {
+	n, _, _, _ := buildGrid(t)
+	c, err := NewChecker(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &Monitor{}
+	mon.EnableProfile(ProfileConfig{SampleEvery: 1})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = mon.Snapshot()
+				if p := mon.Profile(); p != nil {
+					for _, ws := range p.Series {
+						_ = len(ws.Samples)
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Explore(Options{Workers: 4, Monitor: mon}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if p := mon.Profile(); p == nil || len(p.Series) != 4 {
+		t.Fatal("profile missing after concurrent scrapes")
+	}
+}

@@ -65,6 +65,10 @@ func (c *monCell) publish(popped, transitions, deadlocks int64) {
 type monView struct {
 	e     atomic.Pointer[explorer]
 	cells []monCell
+	// prof is the run's profile sampling state; nil unless the Monitor has
+	// profiling enabled (EnableProfile), so a plain monitored run allocates
+	// nothing for it.
+	prof *profRun
 	// final holds the exact flushed totals once the run is over; stored
 	// strictly before e is cleared, so a Snapshot that finds e nil re-reads
 	// final and always gets it.
@@ -88,6 +92,12 @@ func (v *monView) setDone() {
 		p.StoredBytes = e.passed.bytes()
 		p.InternHits, p.InternMisses = e.passed.internStats()
 	}
+	if v.prof != nil {
+		// The worker barrier has passed: the sample rings are quiescent, so
+		// the run's series freezes into the recorder before the explorer is
+		// released.
+		v.prof.finalize(e, p)
+	}
 	v.final.Store(&p)
 	v.e.Store(nil)
 }
@@ -99,6 +109,9 @@ func (v *monView) setDone() {
 // the first; Snapshot then reports the latest run.
 type Monitor struct {
 	v atomic.Pointer[monView]
+	// prof, when set (EnableProfile), upgrades every attached run to
+	// profiled mode: phase spans plus sampled per-worker series (profile.go).
+	prof atomic.Pointer[profRecorder]
 }
 
 // attach binds the monitor to a starting run. Called by explore strictly
@@ -106,6 +119,9 @@ type Monitor struct {
 // every explorer field Snapshot reads.
 func (m *Monitor) attach(e *explorer, workers int) *monView {
 	v := &monView{cells: make([]monCell, workers)}
+	if r := m.prof.Load(); r != nil {
+		v.prof = r.newRun(workers)
+	}
 	v.e.Store(e)
 	m.v.Store(v)
 	return v

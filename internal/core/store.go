@@ -22,6 +22,9 @@ type passedSet interface {
 	bytes() int64
 	// internStats reports discrete-vector intern-table hits and misses.
 	internStats() (hits, misses int64)
+	// contention counts admissions that found their shard lock held and had
+	// to wait (always 0 for the sequential store).
+	contention() int64
 }
 
 // store is the passed-state list: per discrete state (location vector plus
@@ -195,6 +198,9 @@ func (st *store) internStats() (hits, misses int64) {
 	return st.intern.hits.Load(), st.intern.misses.Load()
 }
 
+// contention is always 0: the sequential store has no locks to wait on.
+func (st *store) contention() int64 { return 0 }
+
 // internTable deduplicates the discrete vectors held by store entries:
 // location vectors and variable valuations are interned separately (each
 // repeats across many entries even though their combination is unique per
@@ -294,6 +300,9 @@ type pstore struct {
 	mask      uint64 // len(shards)-1; the count is a power of two
 	zones     atomic.Int64
 	zoneBytes atomic.Int64
+	// contended counts adds that found their shard lock held (TryLock
+	// failed) and had to block — the sweep profile's store-contention total.
+	contended atomic.Int64
 }
 
 // pshard is one lock shard, padded to its own cache line against false
@@ -330,7 +339,10 @@ func (st *pstore) add(s *State) bool {
 	// allocation. The run is failing at that point, so the possibly
 	// half-admitted entry is only ever read by workers about to observe the
 	// stop flag — and the store, like the pools, dies with the run.
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		st.contended.Add(1)
+		sh.mu.Lock()
+	}
 	defer sh.mu.Unlock()
 	delta, bytesDelta, admitted := lookupEntry(sh.buckets, s, &sh.intern).admit(s, sh.cpool)
 	if delta != 0 {
@@ -361,3 +373,6 @@ func (st *pstore) internStats() (hits, misses int64) {
 	}
 	return hits, misses
 }
+
+// contention counts adds that had to wait for a shard lock.
+func (st *pstore) contention() int64 { return st.contended.Load() }

@@ -91,6 +91,7 @@ func (st *refStore) bytes() int64 {
 }
 
 func (st *refStore) internStats() (hits, misses int64) { return 0, 0 }
+func (st *refStore) contention() int64                 { return 0 }
 
 // shadowStore drives the compact store under test and the reference in
 // lockstep: the mutex serializes concurrent admissions so both stores see
@@ -116,6 +117,7 @@ func (sh *shadowStore) add(s *State) bool {
 func (sh *shadowStore) size() int                         { return sh.fast.size() }
 func (sh *shadowStore) bytes() int64                      { return sh.fast.bytes() }
 func (sh *shadowStore) internStats() (hits, misses int64) { return sh.fast.internStats() }
+func (sh *shadowStore) contention() int64                 { return sh.fast.contention() }
 
 // TestCompactStoreShadowMatchesReference asserts every admission decision of
 // the compact store (sequential and sharded) equals the full-DBM reference's

@@ -61,12 +61,17 @@ type CellOptions struct {
 	// MaxStates there is no degraded answer past this bound — memory is a
 	// hard resource. 0 = unbounded.
 	MaxBytes int64
+	// Monitor, when set, observes every exploration these options feed — the
+	// -profile-out hookup. A profile-enabled monitor records each cell's
+	// sweep; an exhausted cell's rdf fallback appends a second explore span.
+	Monitor *core.Monitor
 }
 
 // coreOpts maps the shared exploration knobs onto engine options; the
 // randomized fallback runs override MaxStates and Order on top of it.
 func (o CellOptions) coreOpts() core.Options {
-	return core.Options{MaxStates: o.MaxStates, MaxBytes: o.MaxBytes, Workers: o.Workers}
+	return core.Options{MaxStates: o.MaxStates, MaxBytes: o.MaxBytes,
+		Workers: o.Workers, Monitor: o.Monitor}
 }
 
 // Cell computes one Table 1 cell: the WCRT of row.Req under column col.

@@ -1,0 +1,53 @@
+package obs
+
+import "sync/atomic"
+
+// Cells is the padded single-writer publication primitive behind the
+// engine's hot-path telemetry, generalized from core.Monitor's monCell: one
+// cache-line-padded slot per writer, written with plain atomic stores by
+// exactly that writer (never a read-modify-write, never a lock, never a
+// shared line), merged lock-free on the scrape side by summing. Use it when
+// a per-state or per-steal counter must be readable from another goroutine;
+// use Counter for event-rate paths instead.
+type Cells struct {
+	cells []cell
+}
+
+// cell pads one writer's slot to a full cache line so neighboring writers'
+// stores never share one.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewCells returns n zeroed writer cells.
+func NewCells(n int) *Cells {
+	return &Cells{cells: make([]cell, n)}
+}
+
+// Len reports the writer count.
+func (c *Cells) Len() int { return len(c.cells) }
+
+// Set publishes v into writer w's cell. Single writer per cell.
+func (c *Cells) Set(w int, v int64) { c.cells[w].v.Store(v) }
+
+// Add bumps writer w's cell by delta. Because the cell has a single writer
+// this is a plain load + store pair, not an RMW — no other goroutine ever
+// writes between the two.
+func (c *Cells) Add(w int, delta int64) {
+	s := &c.cells[w].v
+	s.Store(s.Load() + delta)
+}
+
+// Get reads writer w's cell; safe from any goroutine.
+func (c *Cells) Get(w int) int64 { return c.cells[w].v.Load() }
+
+// Sum merges all cells lock-free: a relaxed (slightly stale, never torn)
+// total while writers run, the exact total once they have stopped.
+func (c *Cells) Sum() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []error { return Lint(strings.NewReader(s)) }
+
+// TestLintAcceptsValid covers the shapes WriteText emits: plain samples,
+// labeled series, and a full histogram family.
+func TestLintAcceptsValid(t *testing.T) {
+	good := `# HELP jobs_total jobs seen
+# TYPE jobs_total counter
+jobs_total 3
+# TYPE depth gauge
+depth{node="a"} -2
+depth{node="b"} 5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="2.5"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 5.2
+lat_seconds_count 4
+`
+	if errs := lintString(good); len(errs) > 0 {
+		t.Fatalf("valid exposition rejected: %v", errs)
+	}
+}
+
+// TestLintRejects pins one violation per rule the validator enforces.
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"non-ascending le", `# TYPE h histogram
+h_bucket{le="2"} 1
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 2
+`},
+		{"missing +Inf", `# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1
+`},
+		{"decreasing cumulative", `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`},
+		{"count != +Inf bucket", `# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 9
+`},
+		{"missing _sum", `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`},
+		{"duplicate series", `# TYPE jobs_total counter
+jobs_total 1
+jobs_total 2
+`},
+		{"duplicate labeled series", `# TYPE d gauge
+d{node="a"} 1
+d{node="a"} 2
+`},
+		{"TYPE after first sample", `jobs_total 1
+# TYPE jobs_total counter
+`},
+		{"TYPE declared twice", `# TYPE jobs_total counter
+# TYPE jobs_total counter
+jobs_total 1
+`},
+		{"le outside histogram", `# TYPE depth gauge
+depth{le="1"} 3
+`},
+		{"invalid metric name", `0bad 1
+`},
+		{"unparseable value", `jobs_total banana
+`},
+		{"unterminated labels", `depth{node="a" 1
+`},
+	}
+	for _, c := range cases {
+		if errs := lintString(c.in); len(errs) == 0 {
+			t.Errorf("%s: accepted, want violation:\n%s", c.name, c.in)
+		}
+	}
+}

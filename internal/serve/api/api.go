@@ -9,8 +9,10 @@
 package api
 
 import (
+	"encoding/json"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -131,6 +133,27 @@ type ProgressBody struct {
 	// rate is the store's discrete-part sharing factor.
 	InternHits   int64 `json:"intern_hits"`
 	InternMisses int64 `json:"intern_misses"`
+}
+
+// ProfileResponse is the body answering GET /v1/jobs/{id}/profile, available
+// once the job is terminal (409 with the current state before that).
+type ProfileResponse struct {
+	JobID       string    `json:"job_id"`
+	Kind        string    `json:"kind"`
+	State       string    `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	// WallNS is the job's wall clock in nanoseconds: submission through its
+	// last recorded instant (finish, or the result announce when that ends
+	// later).
+	WallNS int64 `json:"wall_ns"`
+	// Spans are the job's lifecycle stages (queue_wait, admission_wait,
+	// compute, replicate), absolute Unix-ns intervals in recording order.
+	Spans []obs.Span `json:"spans"`
+	// Sweep is the engine's core.SweepProfile JSON — phase spans (parse,
+	// compile, explore, trace-replay) plus the sampled per-worker series —
+	// present only when this node ran the sweep (absent for proxied and
+	// adopted results). Kept raw so the api package does not depend on core.
+	Sweep json.RawMessage `json:"sweep,omitempty"`
 }
 
 // CompletionEvent is the cluster-wide announcement of a job reaching a

@@ -198,6 +198,24 @@ func (c *Client) Trace(ctx context.Context, id, req string) (map[string]string, 
 	return traces, nil
 }
 
+// Profile returns a terminal job's profile: lifecycle spans plus — when the
+// serving node ran the sweep — the engine's phase spans and per-worker
+// series. Non-terminal jobs answer 409 (surfaced as an *APIError).
+func (c *Client) Profile(ctx context.Context, id string) (*api.ProfileResponse, error) {
+	status, body, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/profile", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiError(status, body)
+	}
+	var pr api.ProfileResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
 // Cancel requests cooperative cancellation and reports the job's state
 // immediately after.
 func (c *Client) Cancel(ctx context.Context, id string) (*api.CancelResponse, error) {

@@ -188,6 +188,8 @@ func (m *Manager) announceJob(j *job) {
 	// Feed our own replica directly too — the broker loops announcements
 	// back, but the cache must not depend on that; Put is idempotent and
 	// ignores non-done states.
+	start := time.Now()
 	m.results.Put(ev)
 	_ = m.dispatch.Announce(ev)
+	m.jobs.span(j, spanReplicate, start, time.Now())
 }

@@ -17,19 +17,21 @@ import (
 // Handler returns the HTTP API. The contract is versioned under /v1/; the
 // operational endpoints keep their historical unversioned paths as aliases.
 //
-//	POST /v1/jobs             submit an analysis; returns the job id
-//	GET  /v1/jobs/{id}        status + live progress
-//	GET  /v1/jobs/{id}/result the wire result (done jobs only)
-//	GET  /v1/jobs/{id}/trace  captured witness traces
-//	POST /v1/jobs/{id}/cancel cooperative cancellation
-//	GET  /v1/healthz          liveness + counts (alias: /healthz)
-//	GET  /v1/metrics          Prometheus text metrics (alias: /metrics)
+//	POST /v1/jobs              submit an analysis; returns the job id
+//	GET  /v1/jobs/{id}         status + live progress
+//	GET  /v1/jobs/{id}/result  the wire result (done jobs only)
+//	GET  /v1/jobs/{id}/trace   captured witness traces
+//	GET  /v1/jobs/{id}/profile lifecycle spans + sweep profile (terminal jobs)
+//	POST /v1/jobs/{id}/cancel  cooperative cancellation
+//	GET  /v1/healthz           liveness + counts (alias: /healthz)
+//	GET  /v1/metrics           Prometheus text metrics (alias: /metrics)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -292,38 +294,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, status, body)
 }
 
+// handleMetrics serves /v1/metrics (alias /metrics) from the obs registry.
+// Both paths run this exact handler, so their bodies are byte-identical — the
+// pinning test scrapes both and diffs.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	c := s.Stats()
-	active, retained := s.jobs.counts()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "taserved_submissions_total %d\n", c.Submissions)
-	fmt.Fprintf(w, "taserved_jobs_deduped_total %d\n", c.DedupedLive)
-	fmt.Fprintf(w, "taserved_result_cache_hits_total %d\n", c.ResultHits)
-	fmt.Fprintf(w, "taserved_explorations_total %d\n", c.Explorations)
-	fmt.Fprintf(w, "taserved_jobs_canceled_total %d\n", c.Canceled)
-	fmt.Fprintf(w, "taserved_jobs_deadline_exceeded_total %d\n", c.Expired)
-	fmt.Fprintf(w, "taserved_model_cache_hits_total %d\n", c.ModelHits)
-	fmt.Fprintf(w, "taserved_model_cache_misses_total %d\n", c.ModelMisses)
-	fmt.Fprintf(w, "taserved_model_cache_entries %d\n", s.models.len())
-	fmt.Fprintf(w, "taserved_compile_cache_hits_total %d\n", c.CompileHits)
-	fmt.Fprintf(w, "taserved_compile_cache_misses_total %d\n", c.CompileMisses)
-	fmt.Fprintf(w, "taserved_compile_cache_entries %d\n", s.compiled.len())
-	fmt.Fprintf(w, "taserved_jobs_active %d\n", active)
-	fmt.Fprintf(w, "taserved_jobs_retained %d\n", retained)
-	fmt.Fprintf(w, "taserved_cpu_tokens_total %d\n", s.cfg.CPUTokens)
-	fmt.Fprintf(w, "taserved_cpu_tokens_in_use %d\n", s.tokens.inUse())
-	fmt.Fprintf(w, "taserved_admission_queue_depth %d\n", s.tokens.waiting())
-	fmt.Fprintf(w, "taserved_memory_budget_bytes %d\n", s.cfg.MemoryBudget)
-	fmt.Fprintf(w, "taserved_memory_in_use_bytes %d\n", s.tokens.bytesInUse())
-	storedBytes, ihits, imisses := s.jobs.storedFootprint()
-	fmt.Fprintf(w, "taserved_stored_zone_bytes %d\n", storedBytes)
-	fmt.Fprintf(w, "taserved_intern_hits_total %d\n", ihits)
-	fmt.Fprintf(w, "taserved_intern_misses_total %d\n", imisses)
-	fmt.Fprintf(w, "taserved_shed_total %d\n", c.Shed)
-	fmt.Fprintf(w, "taserved_node_info{node=%q} 1\n", s.dispatch.Self())
-	fmt.Fprintf(w, "taserved_peer_count %d\n", len(s.dispatch.Nodes()))
-	fmt.Fprintf(w, "taserved_dispatched_total %d\n", c.Dispatched)
-	fmt.Fprintf(w, "taserved_remote_hits_total %d\n", c.RemoteHits)
-	fmt.Fprintf(w, "taserved_dispatch_fallbacks_total %d\n", c.DispatchFallbacks)
-	fmt.Fprintf(w, "taserved_replicated_results %d\n", s.results.Len())
+	_ = s.reg.WriteText(w)
+}
+
+// handleProfile serves a terminal job's profile: its lifecycle spans
+// (queue-wait, admission-wait, compute, replicate) plus — when the job ran a
+// sweep on this node — the engine's phase spans and sampled per-worker
+// series. Non-terminal jobs answer 409, like /result.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFromPath(w, r)
+	if j == nil {
+		return
+	}
+	state, errMsg, _, finished := j.snapshot()
+	if !j.terminal() {
+		body := map[string]string{"state": state}
+		if errMsg != "" {
+			body["error"] = errMsg
+		}
+		writeJSON(w, http.StatusConflict, body)
+		return
+	}
+	spans := j.spanSnapshot()
+	resp := api.ProfileResponse{
+		JobID:       j.id,
+		Kind:        j.kind,
+		State:       state,
+		SubmittedAt: j.submitted,
+		Spans:       spans,
+	}
+	// Wall clock spans submission through the last recorded instant: finish
+	// time, or the replicate span's end when the announce outlived it.
+	endNS := finished.UnixNano()
+	for _, sp := range spans {
+		if sp.End() > endNS {
+			endNS = sp.End()
+		}
+	}
+	resp.WallNS = endNS - j.submitted.UnixNano()
+	if p := j.mon.Profile(); p != nil {
+		data, err := json.Marshal(p)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Sweep = data
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

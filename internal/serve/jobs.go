@@ -9,8 +9,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/wire"
+)
+
+// Span names of the job lifecycle stages recorded on every executed job and
+// fed into the taserved_job_*_seconds histograms.
+const (
+	spanQueueWait     = "queue_wait"     // submission → execute goroutine start
+	spanAdmissionWait = "admission_wait" // blocked acquiring the CPU/memory grant
+	spanCompute       = "compute"        // the job closure (sweep or proxy wait)
+	spanReplicate     = "replicate"      // result-cache put + cluster announce
 )
 
 // This file is the execution half of the service: a global resource
@@ -200,11 +210,12 @@ type job struct {
 	finished time.Time
 	result   []byte            // raw wire JSON, valid when state == done
 	traces   map[string]string // captured witness traces, by requirement / query
+	spans    []obs.Span        // lifecycle spans, appended as each stage ends
 	done     chan struct{}     // closed on any terminal state
 }
 
 func newJob(id, kind string, workers int, memBytes int64, deadline time.Time) *job {
-	return &job{
+	j := &job{
 		id: id, kind: kind, workers: workers, memBytes: memBytes,
 		submitted: time.Now(), deadline: deadline,
 		mon:      &core.Monitor{},
@@ -212,6 +223,27 @@ func newJob(id, kind string, workers int, memBytes int64, deadline time.Time) *j
 		state:    StateQueued,
 		done:     make(chan struct{}),
 	}
+	// Every served job records its sweep profile (phase spans + sampled
+	// per-worker series) for GET /v1/jobs/{id}/profile. The recorder costs a
+	// few KB of rings per run — noise next to a sweep — and nothing at all on
+	// jobs that never run one (proxies, adopted results).
+	j.mon.EnableProfile(core.ProfileConfig{})
+	return j
+}
+
+// addSpan records one completed lifecycle stage.
+func (j *job) addSpan(name string, start, end time.Time) {
+	s := obs.NewSpan(name, start, end)
+	j.mu.Lock()
+	j.spans = append(j.spans, s)
+	j.mu.Unlock()
+}
+
+// spanSnapshot copies the recorded lifecycle spans in recording order.
+func (j *job) spanSnapshot() []obs.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]obs.Span(nil), j.spans...)
 }
 
 // cancel requests cooperative cancellation; safe to call repeatedly and
@@ -287,6 +319,10 @@ type jobManager struct {
 	// dispatch backend. Called outside m.mu.
 	onFinish func(*job)
 
+	// onSpan, when set, observes every recorded lifecycle span — the
+	// Manager's histogram feed. Called outside m.mu.
+	onSpan func(name string, d time.Duration)
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	finished    *list.List // of job ids, front = most recently finished/hit
@@ -357,11 +393,15 @@ func (m *jobManager) submit(id, kind string, workers int, memBytes int64, deadli
 
 func (m *jobManager) execute(j *job, run runFunc) {
 	defer m.wg.Done()
+	entered := time.Now()
+	m.span(j, spanQueueWait, j.submitted, entered)
 	// A proxy job (workers == 0) holds no grant: the compute — and its
 	// admission — happens on the node that owns the content key; this
 	// goroutine only waits for the relayed completion.
 	if j.workers > 0 {
-		if err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers, j.memBytes); err != nil {
+		err := m.tokens.acquire(j.cancelCh, j.deadline, j.workers, j.memBytes)
+		m.span(j, spanAdmissionWait, entered, time.Now())
+		if err != nil {
 			j.finish(nil, nil, err)
 			m.noteFinish(j)
 			m.onTerminal(j)
@@ -369,13 +409,24 @@ func (m *jobManager) execute(j *job, run runFunc) {
 		}
 	}
 	j.setRunning()
+	computeStart := time.Now()
 	result, traces, err := runContained(j, run)
+	m.span(j, spanCompute, computeStart, time.Now())
 	if j.workers > 0 {
 		m.tokens.release(j.workers, j.memBytes)
 	}
 	j.finish(result, traces, err)
 	m.noteFinish(j)
 	m.onTerminal(j)
+}
+
+// span records one lifecycle stage on the job and feeds the manager's
+// histogram hook.
+func (m *jobManager) span(j *job, name string, start, end time.Time) {
+	j.addSpan(name, start, end)
+	if m.onSpan != nil {
+		m.onSpan(name, end.Sub(start))
+	}
 }
 
 func (m *jobManager) noteFinish(j *job) {

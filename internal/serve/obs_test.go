@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve/client"
+)
+
+// TestMetricsAliasAndLint pins the two exposition contracts: /metrics is a
+// byte-identical alias of /v1/metrics (both render the same registry in
+// registration order), and the body passes the shared obs.Lint validator —
+// the same check the serve-smoke CI job runs against a live node.
+func TestMetricsAliasAndLint(t *testing.T) {
+	_, ts := testServer(t, Config{CPUTokens: 1})
+	sr := submit(t, ts.URL, SubmitRequest{Kind: "arch", Model: tinyArchModel(t),
+		Options: SubmitOptions{HorizonMS: 100}})
+	if st := await(t, ts.URL, sr.JobID, time.Minute); st.State != StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+
+	code, v1 := getBody(t, ts.URL+"/v1/metrics")
+	if code != 200 {
+		t.Fatalf("/v1/metrics: HTTP %d", code)
+	}
+	code, alias := getBody(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	if string(v1) != string(alias) {
+		t.Fatalf("/metrics is not byte-identical to /v1/metrics:\n--- /v1/metrics\n%s--- /metrics\n%s", v1, alias)
+	}
+	if errs := obs.Lint(strings.NewReader(string(v1))); len(errs) > 0 {
+		t.Fatalf("/v1/metrics fails exposition lint: %v\n%s", errs, v1)
+	}
+	for _, fam := range []string{
+		"taserved_submissions_total", "taserved_jobs_active",
+		"taserved_job_queue_wait_seconds", "taserved_job_admission_wait_seconds",
+		"taserved_job_compute_seconds", "taserved_job_replicate_seconds",
+	} {
+		if !strings.Contains(string(v1), "# TYPE "+fam+" ") {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+	if !strings.Contains(string(v1), `taserved_job_compute_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("compute histogram did not record the job:\n%s", v1)
+	}
+}
+
+// TestJobProfileEndpoint checks the per-job profile: lifecycle spans with
+// monotone timings whose total stays within the job's wall time, and the
+// engine's sweep profile (phase spans + per-worker series) for a locally
+// computed job.
+func TestJobProfileEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{CPUTokens: 1})
+	sr := submit(t, ts.URL, SubmitRequest{Kind: "arch", Model: tinyArchModel(t),
+		Options: SubmitOptions{HorizonMS: 100}})
+	if st := await(t, ts.URL, sr.JobID, time.Minute); st.State != StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+
+	pr, err := client.New(ts.URL, nil).Profile(context.Background(), sr.JobID)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if pr.JobID != sr.JobID || pr.State != StateDone || pr.WallNS <= 0 {
+		t.Fatalf("profile header = %+v, want done job with positive wall time", pr)
+	}
+
+	spans := map[string]obs.Span{}
+	var sum int64
+	for _, sp := range pr.Spans {
+		if sp.DurNS < 0 || sp.StartNS <= 0 {
+			t.Errorf("span %s has start=%d dur=%d", sp.Name, sp.StartNS, sp.DurNS)
+		}
+		spans[sp.Name] = sp
+		sum += sp.DurNS
+	}
+	for _, name := range []string{"queue_wait", "admission_wait", "compute", "replicate"} {
+		if _, ok := spans[name]; !ok {
+			t.Fatalf("span %s missing (got %+v)", name, pr.Spans)
+		}
+	}
+	// The lifecycle spans are sequential: each begins no earlier than its
+	// predecessor ends, and their total cannot exceed the wall time.
+	for _, pair := range [][2]string{
+		{"queue_wait", "admission_wait"}, {"admission_wait", "compute"}, {"compute", "replicate"},
+	} {
+		prev, next := spans[pair[0]], spans[pair[1]]
+		if next.StartNS < prev.StartNS+prev.DurNS {
+			t.Errorf("span %s starts at %d, before %s ends at %d",
+				pair[1], next.StartNS, pair[0], prev.StartNS+prev.DurNS)
+		}
+	}
+	if sum > pr.WallNS {
+		t.Errorf("span durations sum to %dns, more than the %dns wall time", sum, pr.WallNS)
+	}
+
+	if len(pr.Sweep) == 0 {
+		t.Fatal("locally computed job has no sweep profile")
+	}
+	var sweep core.SweepProfile
+	if err := json.Unmarshal(pr.Sweep, &sweep); err != nil {
+		t.Fatalf("sweep profile undecodable: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, sp := range sweep.Phases {
+		phases[sp.Name] = true
+	}
+	for _, name := range []string{"parse", "compile", "explore"} {
+		if !phases[name] {
+			t.Errorf("sweep phase %s missing (got %+v)", name, sweep.Phases)
+		}
+	}
+	if sweep.Workers < 1 || len(sweep.Series) != sweep.Workers {
+		t.Errorf("sweep has %d series for %d workers", len(sweep.Series), sweep.Workers)
+	}
+	if sweep.Totals.Stored == 0 {
+		t.Error("sweep totals empty, want the run's exact counters")
+	}
+
+	// Unknown jobs 404 through the same route.
+	code, _ := getBody(t, ts.URL+"/v1/jobs/nope/profile")
+	if code != 404 {
+		t.Errorf("profile of unknown job: HTTP %d, want 404", code)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/api"
 	"repro/internal/wire"
@@ -20,8 +22,28 @@ type Dispatcher struct {
 	nodes  []string
 	ring   *ring
 
+	// Latency histograms, nil until InstrumentMetrics wires them in. The
+	// manager calls it during construction — before this dispatcher carries
+	// any of its traffic — so the operation paths read them unguarded.
+	sendHist     *obs.Histogram
+	announceHist *obs.Histogram
+	adoptHist    *obs.Histogram
+
 	mu      sync.Mutex
 	cancels []func()
+}
+
+// InstrumentMetrics registers the dispatcher's latency families on the
+// manager's registry (the serve metricsInstrumenter seam). Call before the
+// dispatcher serves traffic.
+func (d *Dispatcher) InstrumentMetrics(r *obs.Registry) {
+	bounds := []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 5}
+	d.sendHist = r.Histogram("taserved_pubsub_dispatch_seconds",
+		"Envelope publish latency to the owning node's dispatch topic.", bounds)
+	d.announceHist = r.Histogram("taserved_pubsub_announce_seconds",
+		"Completion announce latency (key topic plus the global feed).", bounds)
+	d.adoptHist = r.Histogram("taserved_pubsub_adopt_seconds",
+		"Watched-completion adoption latency: decode plus handler.", bounds)
 }
 
 var _ serve.Dispatch = (*Dispatcher)(nil)
@@ -87,14 +109,23 @@ func (d *Dispatcher) Nodes() []string {
 func (d *Dispatcher) Owner(key string) string { return d.ring.owner(key) }
 
 func (d *Dispatcher) Send(owner string, envelope []byte) error {
-	return d.broker.Publish("dispatch."+owner, envelope)
+	start := time.Now()
+	err := d.broker.Publish("dispatch."+owner, envelope)
+	if d.sendHist != nil {
+		d.sendHist.ObserveSince(start)
+	}
+	return err
 }
 
 func (d *Dispatcher) Watch(key string, fn func(api.CompletionEvent)) (func(), error) {
 	cancelSub, err := d.broker.Subscribe("complete."+key, func(msg []byte) {
+		start := time.Now()
 		var ev api.CompletionEvent
 		if json.Unmarshal(msg, &ev) == nil {
 			fn(ev)
+			if d.adoptHist != nil {
+				d.adoptHist.ObserveSince(start)
+			}
 		}
 	})
 	if err != nil {
@@ -129,6 +160,12 @@ func (d *Dispatcher) Announce(ev api.CompletionEvent) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	defer func() {
+		if d.announceHist != nil {
+			d.announceHist.ObserveSince(start)
+		}
+	}()
 	if err := d.broker.Publish("complete."+ev.Key, msg); err != nil {
 		return err
 	}

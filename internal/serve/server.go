@@ -29,6 +29,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -36,11 +37,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/ta"
 	"repro/internal/wire"
@@ -137,6 +140,11 @@ type Manager struct {
 	dispatch Dispatch
 	results  ResultCache
 
+	// reg is the metrics registry behind /v1/metrics; hists are the job
+	// lifecycle-span histograms it owns (see metrics.go).
+	reg   *obs.Registry
+	hists jobSpanHists
+
 	submissions  atomic.Int64
 	dedupLive    atomic.Int64 // submissions that joined a queued/running job
 	resultHits   atomic.Int64 // submissions answered by a finished job
@@ -179,6 +187,8 @@ func NewManager(cfg Config) *Manager {
 		results:  cfg.Results,
 	}
 	m.jobs.onFinish = m.announceJob
+	m.buildRegistry()
+	m.jobs.onSpan = m.hists.observe
 	if err := m.dispatch.Receive(m.handleEnvelope); err != nil {
 		// A node that cannot receive envelopes must not advertise ownership:
 		// degrade to computing everything locally rather than black-holing
@@ -294,7 +304,9 @@ func hashBytes(parts ...string) string {
 // wire code and suggested HTTP status.
 func (m *Manager) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 	m.submissions.Add(1)
+	parseStart := time.Now()
 	spec, model, herr := m.normalize(req)
+	parseEnd := time.Now()
 	if herr != nil {
 		return nil, herr
 	}
@@ -370,6 +382,10 @@ func (m *Manager) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 	}
 	state, _, _, _ := j.snapshot()
 	if created {
+		// The parse ran during normalization, before the job existed; graft
+		// it onto the fresh job's profile. (Model-cache hits record the — now
+		// trivial — resolution interval, still the job's real parse cost.)
+		j.mon.RecordPhase("parse", parseStart, parseEnd)
 		if proxy {
 			m.dispatched.Add(1)
 		}
@@ -587,15 +603,26 @@ func coreOptions(spec jobSpec, j *job) core.Options {
 }
 
 // runFunc builds the job closure: compile (through the cache) and run the
-// single exploration answering the whole submission.
+// single exploration answering the whole submission. The closure runs under
+// pprof labels (job_id, kind, owner), so CPU and goroutine profiles of a busy
+// node attribute samples to the jobs that burned them.
 func (m *Manager) runFunc(spec jobSpec, model *modelEntry) runFunc {
+	var inner runFunc
 	if spec.Kind == "arch" {
-		return func(j *job) ([]byte, map[string]string, error) {
+		inner = func(j *job) ([]byte, map[string]string, error) {
 			return m.runArch(spec, model, j)
 		}
+	} else {
+		inner = func(j *job) ([]byte, map[string]string, error) {
+			return m.runTA(spec, model, j)
+		}
 	}
-	return func(j *job) ([]byte, map[string]string, error) {
-		return m.runTA(spec, model, j)
+	return func(j *job) (result []byte, traces map[string]string, err error) {
+		labels := pprof.Labels("job_id", j.id, "kind", j.kind, "owner", m.dispatch.Self())
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			result, traces, err = inner(j)
+		})
+		return result, traces, err
 	}
 }
 
@@ -628,9 +655,11 @@ func (m *Manager) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[
 		fmt.Sprint(spec.HorizonMS), fmt.Sprint(spec.QueueCap), string(horizonsJSON)},
 		spec.Requirements...)
 	ckey := hashBytes(parts...)
+	endCompile := j.mon.BeginPhase("compile")
 	cs, _, err := m.compiled.do(ckey, func() (*arch.CompiledSet, error) {
 		return arch.CompileAll(model.sys, reqs, copts)
 	})
+	endCompile()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -679,11 +708,14 @@ func (m *Manager) runArch(spec jobSpec, model *modelEntry, j *job) ([]byte, map[
 }
 
 func (m *Manager) runTA(spec jobSpec, model *modelEntry, j *job) ([]byte, map[string]string, error) {
+	endCompile := j.mon.BeginPhase("compile")
 	run, err := wire.NewTARun(model.net, spec.Queries)
 	if err != nil {
+		endCompile()
 		return nil, nil, err
 	}
 	checker, err := core.NewChecker(model.net)
+	endCompile()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,54 @@
+// Command metricslint validates a Prometheus text exposition (format 0.0.4)
+// with the shared internal/obs validator: well-formed TYPE/HELP and sample
+// lines, no duplicate series, and consistent histogram families (ascending
+// cumulative le buckets ending in +Inf, matching _sum/_count). The serve-smoke
+// CI job runs it against a live node's /v1/metrics.
+//
+// Usage:
+//
+//	metricslint -url http://127.0.0.1:8080/v1/metrics
+//	metricslint < exposition.txt
+//
+// Exit status: 0 when the exposition is valid, 1 with one line per violation
+// otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading stdin")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		hc := &http.Client{Timeout: 10 * time.Second}
+		resp, err := hc.Get(*url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricslint:", err)
+			os.Exit(1)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "metricslint: %s answered HTTP %d\n", *url, resp.StatusCode)
+			os.Exit(1)
+		}
+		in = resp.Body
+	}
+
+	errs := obs.Lint(in)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+}

@@ -35,6 +35,9 @@ echo "== taserved at $url"
 
 go run ./scripts/servesmoke -url "$url"
 
+echo "== metrics exposition lint"
+go run ./scripts/metricslint -url "$url/v1/metrics"
+
 echo "== graceful shutdown"
 kill -TERM "$pid"
 rc=0

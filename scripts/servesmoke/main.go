@@ -21,12 +21,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/api"
 	"repro/internal/serve/client"
@@ -148,6 +151,103 @@ func metric(ctx context.Context, c *client.Client, name string) int64 {
 	return v
 }
 
+// jobSpanFamilies are the per-job latency histograms every node must expose.
+var jobSpanFamilies = []string{
+	"taserved_job_queue_wait_seconds",
+	"taserved_job_admission_wait_seconds",
+	"taserved_job_compute_seconds",
+	"taserved_job_replicate_seconds",
+}
+
+// pubsubFamilies are the dispatch-backend histograms cluster nodes must expose.
+var pubsubFamilies = []string{
+	"taserved_pubsub_dispatch_seconds",
+	"taserved_pubsub_announce_seconds",
+	"taserved_pubsub_adopt_seconds",
+}
+
+// requireFamilies asserts the exposition declares (TYPE line) every named
+// family and passes the shared obs.Lint validator.
+func requireFamilies(ctx context.Context, c *client.Client, who string, families ...string) {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		fail("%s metrics: %v", who, err)
+	}
+	for _, f := range families {
+		if !strings.Contains(text, "# TYPE "+f+" ") {
+			fail("%s: metric family %s missing from exposition", who, f)
+		}
+	}
+	if errs := obs.Lint(strings.NewReader(text)); len(errs) > 0 {
+		fail("%s: exposition fails lint: %v", who, errs[0])
+	}
+}
+
+// checkProfile fetches a terminal job's profile and verifies the lifecycle
+// spans plus (when the serving node ran the sweep) the engine phases.
+func checkProfile(ctx context.Context, c *client.Client, id string, wantSweep bool) {
+	pr, err := c.Profile(ctx, id)
+	if err != nil {
+		fail("profile %s: %v", id, err)
+	}
+	if pr.WallNS <= 0 || len(pr.Spans) == 0 {
+		fail("profile %s: wall_ns=%d spans=%d, want both positive", id, pr.WallNS, len(pr.Spans))
+	}
+	have := map[string]bool{}
+	for _, sp := range pr.Spans {
+		have[sp.Name] = true
+	}
+	for _, name := range []string{"queue_wait", "compute"} {
+		if !have[name] {
+			fail("profile %s: span %s missing (got %v)", id, name, pr.Spans)
+		}
+	}
+	if !wantSweep {
+		return
+	}
+	var sweep struct {
+		Workers int        `json:"workers"`
+		Phases  []obs.Span `json:"phases"`
+		Series  []struct {
+			Samples []json.RawMessage `json:"samples"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(pr.Sweep, &sweep); err != nil || len(pr.Sweep) == 0 {
+		fail("profile %s: sweep missing or undecodable: %v", id, err)
+	}
+	phases := map[string]bool{}
+	for _, p := range sweep.Phases {
+		phases[p.Name] = true
+	}
+	for _, name := range []string{"parse", "explore"} {
+		if !phases[name] {
+			fail("profile %s: sweep phase %s missing (got %+v)", id, name, sweep.Phases)
+		}
+	}
+	if sweep.Workers < 1 || len(sweep.Series) != sweep.Workers {
+		fail("profile %s: %d series for %d workers", id, len(sweep.Series), sweep.Workers)
+	}
+}
+
+// checkMetricsAlias pins /metrics to /v1/metrics byte-for-byte.
+func checkMetricsAlias(url string) {
+	get := func(path string) string {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			fail("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fail("GET %s: HTTP %d err=%v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+	if a, b := get("/v1/metrics"), get("/metrics"); a != b {
+		fail("/metrics is not byte-identical to /v1/metrics")
+	}
+}
+
 // smokeSingle drives one already-running server through the full lifecycle:
 // health, arch submit/poll/result, cache hit on resubmission, combined ta
 // query set, metrics.
@@ -191,6 +291,17 @@ func smokeSingle(url, testdata string) {
 		fail("ta result: %v", err)
 	}
 	checkTAResult(body)
+
+	step("job profile (spans + sweep phases)")
+	checkProfile(ctx, c, st.JobID, true)
+
+	step("histogram/gauge families + exposition lint")
+	requireFamilies(ctx, c, "node", append([]string{
+		"taserved_jobs_active", "taserved_stored_zone_bytes",
+	}, jobSpanFamilies...)...)
+
+	step("/metrics alias byte-identical to /v1/metrics")
+	checkMetricsAlias(url)
 }
 
 // fleetNode is one in-process fleet member: a manager over the shared broker
@@ -299,4 +410,15 @@ func smokeCluster(n int, testdata string) {
 		fail("ta result via %s: %v", nodes[0].id, err)
 	}
 	checkTAResult(body)
+
+	step("profile served for the frontend's job")
+	// The submitting frontend always has the job; whether its profile carries
+	// a sweep depends on who owned the key, so only the spans are required.
+	checkProfile(ctx, nodes[n-1].client, st.JobID, false)
+
+	step("histogram families on every node (pubsub included)")
+	for _, nd := range nodes {
+		requireFamilies(ctx, nd.client, nd.id, append(append([]string{},
+			jobSpanFamilies...), pubsubFamilies...)...)
+	}
 }
